@@ -1,0 +1,76 @@
+"""Fig. 1 -- Motivational analysis.
+
+The paper's opening observation: the Pareto front of approximate 8x8
+multipliers computed from ASIC costs differs from the front computed from
+FPGA costs -- an AC that is Pareto-optimal for ASICs is not necessarily
+Pareto-optimal for FPGAs.  The benchmark regenerates both fronts over the
+same library and reports their sizes and overlap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _fronts(errors, asic_reports, fpga_reports):
+    from repro.core import pareto_front_indices
+
+    asic_points = np.column_stack([errors, [r.area_um2 for r in asic_reports]])
+    fpga_points = np.column_stack([errors, [float(r.luts) for r in fpga_reports]])
+    return set(pareto_front_indices(asic_points)), set(pareto_front_indices(fpga_points))
+
+
+def test_fig1_asic_pareto_differs_from_fpga_pareto(benchmark, mult8_library, mult8_measurements):
+    errors, asic_reports, fpga_reports = mult8_measurements
+
+    asic_front, fpga_front = benchmark.pedantic(
+        _fronts, args=(errors, asic_reports, fpga_reports), rounds=1, iterations=1
+    )
+
+    overlap = asic_front & fpga_front
+    only_asic = asic_front - fpga_front
+    only_fpga = fpga_front - asic_front
+
+    print("\n=== Fig. 1: ASIC vs FPGA Pareto fronts (8x8 approximate multipliers) ===")
+    print(f"library size                      : {len(mult8_library)}")
+    print(f"ASIC Pareto-optimal circuits      : {len(asic_front)}")
+    print(f"FPGA Pareto-optimal circuits      : {len(fpga_front)}")
+    print(f"Pareto-optimal on both platforms  : {len(overlap)}")
+    print(f"ASIC-optimal but FPGA-dominated   : {len(only_asic)}")
+    print(f"FPGA-optimal but ASIC-dominated   : {len(only_fpga)}")
+    names = mult8_library.names()
+    sample = sorted(only_fpga)[:5]
+    print("examples of FPGA-only Pareto circuits:", [names[i] for i in sample])
+
+    # Paper claim: the two fronts are not the same set.
+    assert only_asic or only_fpga, "ASIC and FPGA Pareto fronts should differ"
+    # Both fronts must be non-trivial.
+    assert len(asic_front) >= 3
+    assert len(fpga_front) >= 3
+
+
+def test_fig1_state_of_the_art_style_designs_dominated(benchmark, mult8_library, mult8_measurements):
+    """The manual FPGA-oriented designs (here: the OR-partial-product family,
+    playing the role of the SoA hand-optimised multipliers) are largely
+    dominated by the evolutionary-style library, as the paper observes."""
+    errors, _, fpga_reports = mult8_measurements
+    from repro.core import pareto_front_indices
+
+    points = np.column_stack([errors, [float(r.luts) for r in fpga_reports]])
+
+    def analysis():
+        front = set(pareto_front_indices(points))
+        manual = {
+            index
+            for index, circuit in enumerate(mult8_library)
+            if circuit.meta.get("family") == "or_pp" and not circuit.meta.get("exact")
+        }
+        return front, manual
+
+    front, manual = benchmark.pedantic(analysis, rounds=1, iterations=1)
+    dominated_fraction = 1.0 - len(front & manual) / max(len(manual), 1)
+    print("\n=== Fig. 1 inset: hand-style multipliers vs the library ===")
+    print(f"hand-style (or_pp) designs        : {len(manual)}")
+    print(f"fraction dominated by the library : {dominated_fraction:.2f}")
+    assert len(manual) > 0
+    assert dominated_fraction >= 0.5

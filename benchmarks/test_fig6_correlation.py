@@ -1,0 +1,72 @@
+"""Fig. 6 -- Correlation between estimated and measured FPGA parameters.
+
+The paper inspects the top-3 models on the 16x16 multiplier library and
+plots estimated vs measured values.  The benchmark reproduces the numbers
+behind that plot: the Pearson correlation (and relative bias) of each
+model's estimates against the measured values on held-out circuits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.error import ErrorEvaluator
+from repro.features import feature_matrix
+from repro.fpga import FPGA_PARAMETERS
+from repro.ml import build_model, pearson_correlation, train_test_split
+
+CANDIDATE_MODELS = ("ML2", "ML4", "ML10", "ML11")  # ASIC regression, PLS, Kernel Ridge, Bayesian Ridge
+
+
+@pytest.fixture(scope="module")
+def mult16_dataset(mult16_library, fpga_synth, asic_synth):
+    circuits = list(mult16_library)
+    asic_reports = [asic_synth.synthesize(circuit) for circuit in circuits]
+    fpga_reports = [fpga_synth.synthesize(circuit) for circuit in circuits]
+    X, names = feature_matrix(circuits, asic_reports=asic_reports)
+    targets = {
+        parameter: np.array([report.parameter(parameter) for report in fpga_reports])
+        for parameter in FPGA_PARAMETERS
+    }
+    return X, names, targets
+
+
+def test_fig6_estimated_vs_measured_correlation(benchmark, mult16_dataset):
+    X, feature_names, targets = mult16_dataset
+
+    def correlations():
+        results = {}
+        for parameter, y in targets.items():
+            X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.3, random_state=1)
+            for model_id in CANDIDATE_MODELS:
+                model = build_model(model_id, feature_names, random_state=0)
+                model.fit(X_train, y_train)
+                estimates = model.predict(X_test)
+                bias = float(np.mean(estimates - y_test) / max(np.mean(y_test), 1e-9))
+                results[(parameter, model_id)] = (
+                    pearson_correlation(y_test, estimates),
+                    bias,
+                )
+        return results
+
+    results = benchmark.pedantic(correlations, rounds=1, iterations=1)
+
+    print("\n=== Fig. 6: estimated vs measured FPGA parameters (16x16 multipliers, held-out) ===")
+    print(f"{'parameter':<10}" + "".join(f"{model_id:>18}" for model_id in CANDIDATE_MODELS))
+    for parameter in ("latency", "power", "area"):
+        cells = []
+        for model_id in CANDIDATE_MODELS:
+            correlation, bias = results[(parameter, model_id)]
+            cells.append(f"r={correlation:+.2f} b={bias:+.0%}")
+        print(f"{parameter:<10}" + "".join(f"{cell:>18}" for cell in cells))
+
+    # Paper claims: Bayesian Ridge and PLS work as standalone estimators for
+    # all three parameters (positive, reasonably strong correlation).
+    for parameter in ("latency", "power", "area"):
+        for model_id in ("ML4", "ML11"):
+            correlation, _ = results[(parameter, model_id)]
+            assert correlation > 0.5, f"{model_id} correlation for {parameter} too low"
+    # Every reported correlation is at least positive for some model per parameter.
+    for parameter in ("latency", "power", "area"):
+        assert max(results[(parameter, model_id)][0] for model_id in CANDIDATE_MODELS) > 0.6

@@ -1,0 +1,90 @@
+"""Fig. 7 -- Effect of constructing multiple pseudo-Pareto fronts (FPGA latency).
+
+For the 8x8 multiplier library and the FPGA-latency axis the benchmark
+reports, for 1, 2 and 3 pseudo-Pareto fronts and for several estimators, how
+many circuits would have to be (re-)synthesized and what fraction of the
+true latency Pareto front those circuits cover.  The paper's observations:
+ML-based estimates need far fewer re-synthesized circuits than the
+regression w.r.t. the ASIC latency, and taking the union of fronts from
+multiple models works best.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import pareto_coverage, pareto_front_indices, pareto_union, successive_pareto_fronts
+
+MODELS_UNDER_STUDY = ("ML11", "ML4", "ML10", "ML2")  # Bayesian Ridge, PLS, Kernel Ridge, ASIC-latency regression
+
+
+@pytest.fixture(scope="module")
+def latency_study(mult8_flow_result, mult8_library, mult8_measurements):
+    """Estimates of the FPGA latency of every circuit by each studied model."""
+    from repro.ml import build_model
+    from repro.features import feature_matrix
+
+    errors, asic_reports, fpga_reports = mult8_measurements
+    circuits = list(mult8_library)
+    X, feature_names = feature_matrix(circuits, asic_reports=asic_reports)
+    measured_latency = np.array([report.latency_ns for report in fpga_reports])
+
+    training_names = set(mult8_flow_result.training_names) | set(mult8_flow_result.validation_names)
+    training_idx = [i for i, circuit in enumerate(circuits) if circuit.name in training_names]
+
+    estimates = {}
+    for model_id in MODELS_UNDER_STUDY:
+        model = build_model(model_id, feature_names, random_state=0)
+        model.fit(X[training_idx], measured_latency[training_idx])
+        estimates[model_id] = model.predict(X)
+    return errors, measured_latency, estimates, training_idx
+
+
+def test_fig7_multiple_pseudo_pareto_fronts(benchmark, latency_study, mult8_library):
+    errors, measured_latency, estimates, training_idx = latency_study
+    true_front = pareto_front_indices(np.column_stack([errors, measured_latency]))
+
+    def study():
+        rows = {}
+        for model_id, estimated in estimates.items():
+            points = np.column_stack([errors, estimated])
+            fronts = successive_pareto_fronts(points, 3)
+            for num_fronts in (1, 2, 3):
+                selected = pareto_union(fronts[:num_fronts])
+                synthesized = sorted(set(selected) | set(training_idx))
+                rows[(model_id, num_fronts)] = (
+                    len(selected),
+                    len(synthesized),
+                    pareto_coverage(true_front, synthesized),
+                )
+        # Union of the three ML models (excluding the ASIC regression), 3 fronts each.
+        union_selected = set(training_idx)
+        for model_id in ("ML11", "ML4", "ML10"):
+            points = np.column_stack([errors, estimates[model_id]])
+            union_selected |= set(pareto_union(successive_pareto_fronts(points, 3)))
+        rows[("union", 3)] = (
+            len(union_selected - set(training_idx)),
+            len(union_selected),
+            pareto_coverage(true_front, sorted(union_selected)),
+        )
+        return rows
+
+    rows = benchmark.pedantic(study, rounds=1, iterations=1)
+
+    print("\n=== Fig. 7: pseudo-Pareto fronts for FPGA latency (8x8 multipliers) ===")
+    print(f"library: {len(mult8_library)} circuits, true latency front: {len(true_front)} circuits")
+    print(f"{'estimator':<10}{'#fronts':>8}{'candidates':>12}{'synthesized':>13}{'coverage':>10}")
+    for (model_id, num_fronts), (candidates, synthesized, coverage) in sorted(rows.items()):
+        print(f"{model_id:<10}{num_fronts:>8}{candidates:>12}{synthesized:>13}{coverage:>10.2f}")
+
+    # Coverage must be non-decreasing in the number of fronts for every model.
+    for model_id in MODELS_UNDER_STUDY:
+        coverages = [rows[(model_id, k)][2] for k in (1, 2, 3)]
+        assert coverages == sorted(coverages)
+        # And the selection must stay well below exhaustive synthesis.
+        assert rows[(model_id, 3)][1] < len(mult8_library)
+
+    # The union of multiple models covers at least as much as any single model.
+    best_single = max(rows[(model_id, 3)][2] for model_id in ("ML11", "ML4", "ML10"))
+    assert rows[("union", 3)][2] >= best_single - 1e-9

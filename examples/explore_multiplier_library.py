@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Explore an approximate-multiplier library with both synthesis substrates.
+
+This example reproduces the paper's motivational analysis (Fig. 1) in
+miniature: every circuit of an 8x8 multiplier library is evaluated for error
+(MED), synthesized for ASIC and for FPGA, and the two Pareto fronts are
+compared.  It also exports the Verilog of a few Pareto-optimal circuits, the
+way the released FPGA-AC library ships RTL.
+
+Run with:  python examples/explore_multiplier_library.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.asic import AsicSynthesizer
+from repro.circuits import to_verilog
+from repro.core import pareto_front_indices
+from repro.error import ErrorEvaluator
+from repro.fpga import FpgaSynthesizer
+from repro.generators import build_multiplier_library
+
+
+def main() -> None:
+    library = build_multiplier_library(8, size=150, seed=3)
+    evaluator = ErrorEvaluator(library.reference())
+    asic = AsicSynthesizer()
+    fpga = FpgaSynthesizer()
+
+    print(f"Evaluating {len(library)} approximate 8x8 multipliers ...")
+    errors, asic_area, fpga_luts, fpga_latency = [], [], [], []
+    for circuit in library:
+        errors.append(evaluator.evaluate(circuit).med)
+        asic_area.append(asic.synthesize(circuit).area_um2)
+        report = fpga.synthesize(circuit)
+        fpga_luts.append(report.luts)
+        fpga_latency.append(report.latency_ns)
+
+    errors = np.array(errors)
+    asic_front = set(pareto_front_indices(np.column_stack([errors, asic_area])))
+    fpga_front = set(pareto_front_indices(np.column_stack([errors, fpga_luts])))
+
+    print(f"\nASIC Pareto front : {len(asic_front)} circuits")
+    print(f"FPGA Pareto front : {len(fpga_front)} circuits")
+    print(f"on both fronts    : {len(asic_front & fpga_front)} circuits")
+    print("-> an AC that is Pareto-optimal for ASICs is not necessarily Pareto-optimal for FPGAs")
+
+    print("\nFPGA Pareto-optimal circuits (error vs LUTs):")
+    names = library.names()
+    for index in sorted(fpga_front, key=lambda i: errors[i])[:10]:
+        print(
+            f"  {names[index]:<32} MED={errors[index]:.4f}  LUTs={fpga_luts[index]:>4}"
+            f"  latency={fpga_latency[index]:.2f} ns"
+        )
+
+    # Export the RTL of the three lowest-error FPGA-Pareto circuits.
+    chosen = sorted(fpga_front, key=lambda i: errors[i])[:3]
+    for index in chosen:
+        path = f"fpga_ac_{names[index]}.v"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(to_verilog(library[index]))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim for environments without wheel/PEP-517 editable support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.20", "scipy>=1.7"],
+)

@@ -1,0 +1,28 @@
+"""ApproxFPGAs reproduction: ML-driven design-space exploration of ASIC-based
+approximate arithmetic components for FPGA-based systems (DAC 2020).
+
+The package is organised as the paper's system diagram (Fig. 2):
+
+* :mod:`repro.circuits` -- gate-level netlist IR and simulation,
+* :mod:`repro.generators` -- the approximate-circuit library (EvoApproxLib substitute),
+* :mod:`repro.error` -- error metrics (MED, WCE, ...),
+* :mod:`repro.asic` / :mod:`repro.fpga` -- the two synthesis substrates,
+* :mod:`repro.features` / :mod:`repro.ml` -- feature extraction and the Table I model zoo,
+* :mod:`repro.core` -- fidelity, Pareto machinery and the end-to-end flow,
+* :mod:`repro.autoax` -- the AutoAx-FPGA Gaussian-filter case study.
+"""
+
+from .core import ApproxFpgasConfig, ApproxFpgasFlow, run_approxfpgas
+from .generators import CircuitLibrary, build_adder_library, build_multiplier_library
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproxFpgasConfig",
+    "ApproxFpgasFlow",
+    "run_approxfpgas",
+    "CircuitLibrary",
+    "build_adder_library",
+    "build_multiplier_library",
+    "__version__",
+]

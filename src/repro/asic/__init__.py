@@ -1,0 +1,13 @@
+"""ASIC synthesis substrate (standard-cell mapping and cost reports)."""
+
+from .cell_library import CellLibrary, StandardCell, default_cell_library
+from .synthesis import AsicReport, AsicSynthesizer, synthesize_asic
+
+__all__ = [
+    "CellLibrary",
+    "StandardCell",
+    "default_cell_library",
+    "AsicReport",
+    "AsicSynthesizer",
+    "synthesize_asic",
+]

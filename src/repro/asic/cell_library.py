@@ -1,0 +1,71 @@
+"""Standard-cell library model for the ASIC synthesis substrate.
+
+The numbers are representative of a commercial 45nm low-power library
+(NanGate-class): they are not meant to match any foundry exactly, only to
+give every primitive gate a distinct, realistic area / delay / energy point
+so that ASIC costs order circuits the way a real flow would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..circuits import GateType
+
+
+@dataclass(frozen=True)
+class StandardCell:
+    """Electrical and physical characteristics of one standard cell."""
+
+    name: str
+    gate_type: GateType
+    area_um2: float
+    intrinsic_delay_ns: float
+    load_delay_ns_per_fanout: float
+    switching_energy_fj: float
+    leakage_nw: float
+
+
+@dataclass(frozen=True)
+class CellLibrary:
+    """A named collection of standard cells, one per primitive gate type."""
+
+    name: str
+    voltage_v: float
+    cells: Dict[GateType, StandardCell]
+
+    def cell(self, gate_type: GateType) -> StandardCell:
+        return self.cells[gate_type]
+
+
+def default_cell_library() -> CellLibrary:
+    """The 45nm-class library used throughout the reproduction."""
+    raw = {
+        # gate_type: (area, intrinsic delay, load delay/fanout, energy, leakage)
+        GateType.CONST0: (0.0, 0.0, 0.0, 0.0, 0.0),
+        GateType.CONST1: (0.0, 0.0, 0.0, 0.0, 0.0),
+        GateType.BUF: (0.53, 0.020, 0.004, 0.6, 0.9),
+        GateType.NOT: (0.53, 0.012, 0.003, 0.5, 0.8),
+        GateType.AND: (1.06, 0.032, 0.006, 1.1, 1.6),
+        GateType.OR: (1.06, 0.034, 0.006, 1.2, 1.7),
+        GateType.NAND: (0.80, 0.022, 0.005, 0.9, 1.2),
+        GateType.NOR: (0.80, 0.026, 0.005, 1.0, 1.3),
+        GateType.XOR: (1.60, 0.045, 0.008, 1.9, 2.4),
+        GateType.XNOR: (1.60, 0.046, 0.008, 1.9, 2.4),
+        GateType.ANDNOT: (1.06, 0.030, 0.006, 1.1, 1.5),
+        GateType.ORNOT: (1.06, 0.033, 0.006, 1.2, 1.6),
+    }
+    cells = {
+        gate_type: StandardCell(
+            name=f"{gate_type.name.lower()}_x1",
+            gate_type=gate_type,
+            area_um2=values[0],
+            intrinsic_delay_ns=values[1],
+            load_delay_ns_per_fanout=values[2],
+            switching_energy_fj=values[3],
+            leakage_nw=values[4],
+        )
+        for gate_type, values in raw.items()
+    }
+    return CellLibrary(name="repro45lp", voltage_v=1.1, cells=cells)

@@ -1,0 +1,70 @@
+"""AutoAx-FPGA case study: Gaussian-filter accelerator component selection."""
+
+from .images import (
+    blob_image,
+    checkerboard_image,
+    default_image_set,
+    gradient_image,
+    noise_image,
+    texture_image,
+)
+from .quality import mean_ssim, psnr, ssim
+from .accelerator import (
+    GAUSSIAN_KERNEL_3X3,
+    KERNEL_SHIFT,
+    NUM_ADDER_SLOTS,
+    NUM_MULTIPLIER_SLOTS,
+    ApproxComponent,
+    Configuration,
+    GaussianFilterAccelerator,
+    build_component,
+    components_from_library,
+)
+from .estimators import (
+    HwCostEstimator,
+    QorEstimator,
+    TrainingSample,
+    collect_training_samples,
+    configuration_features,
+)
+from .search import (
+    EvaluatedConfiguration,
+    exact_reevaluation,
+    hill_climb_pareto,
+    random_search,
+)
+from .flow import AutoAxConfig, AutoAxFpgaFlow, AutoAxResult, ScenarioResult
+
+__all__ = [
+    "blob_image",
+    "checkerboard_image",
+    "default_image_set",
+    "gradient_image",
+    "noise_image",
+    "texture_image",
+    "mean_ssim",
+    "psnr",
+    "ssim",
+    "GAUSSIAN_KERNEL_3X3",
+    "KERNEL_SHIFT",
+    "NUM_ADDER_SLOTS",
+    "NUM_MULTIPLIER_SLOTS",
+    "ApproxComponent",
+    "Configuration",
+    "GaussianFilterAccelerator",
+    "build_component",
+    "components_from_library",
+    "HwCostEstimator",
+    "QorEstimator",
+    "TrainingSample",
+    "collect_training_samples",
+    "configuration_features",
+    "EvaluatedConfiguration",
+    "exact_reevaluation",
+    "hill_climb_pareto",
+    "random_search",
+    "AutoAxConfig",
+    "AutoAxFpgaFlow",
+    "AutoAxResult",
+    "ScenarioResult",
+]

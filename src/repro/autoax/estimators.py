@@ -1,0 +1,123 @@
+"""QoR and hardware-cost estimators for AutoAx-FPGA.
+
+AutoAx evaluates a random sample of configurations exactly, trains
+estimators on that sample, and then lets the search explore the full design
+space through the (cheap) estimators.  This module provides the feature
+encoding of a configuration and thin estimator wrappers around the
+:mod:`repro.ml` regressors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..ml import Regressor, RandomForestRegressor, RidgeRegression, ScaledRegressor
+from .accelerator import Configuration, GaussianFilterAccelerator
+
+
+def configuration_features(
+    accelerator: GaussianFilterAccelerator, config: Configuration
+) -> np.ndarray:
+    """Numeric feature vector of a configuration.
+
+    Per slot the assigned component contributes its error (MED), LUT count,
+    latency and power; slot-aggregated sums are appended so linear models can
+    pick up the additive structure of the composed cost directly.
+    """
+    per_slot: List[float] = []
+    for index in config.multiplier_indices:
+        component = accelerator.multipliers[index]
+        per_slot.extend(
+            [
+                component.error.med,
+                component.fpga.area_luts,
+                component.fpga.latency_ns,
+                component.fpga.total_power_mw,
+            ]
+        )
+    for index in config.adder_indices:
+        component = accelerator.adders[index]
+        per_slot.extend(
+            [
+                component.error.med,
+                component.fpga.area_luts,
+                component.fpga.latency_ns,
+                component.fpga.total_power_mw,
+            ]
+        )
+    values = np.asarray(per_slot, dtype=np.float64)
+    grouped = values.reshape(-1, 4)
+    aggregates = np.concatenate([grouped.sum(axis=0), grouped.max(axis=0)])
+    return np.concatenate([values, aggregates])
+
+
+@dataclass
+class TrainingSample:
+    """One exactly-evaluated configuration."""
+
+    config: Configuration
+    features: np.ndarray
+    quality: float
+    cost: Dict[str, float]
+
+
+def collect_training_samples(
+    accelerator: GaussianFilterAccelerator,
+    images: Sequence[np.ndarray],
+    num_samples: int,
+    seed: int = 17,
+) -> List[TrainingSample]:
+    """Exactly evaluate ``num_samples`` random configurations."""
+    if num_samples < 2:
+        raise ValueError("need at least two training samples")
+    rng = np.random.default_rng(seed)
+    samples: List[TrainingSample] = []
+    for _ in range(num_samples):
+        config = accelerator.random_configuration(rng)
+        samples.append(
+            TrainingSample(
+                config=config,
+                features=configuration_features(accelerator, config),
+                quality=accelerator.quality(images, config),
+                cost=accelerator.hw_cost(config),
+            )
+        )
+    return samples
+
+
+class QorEstimator:
+    """Estimates the SSIM of a configuration from its feature vector."""
+
+    def __init__(self, model: Optional[Regressor] = None):
+        self.model = model or RandomForestRegressor(n_estimators=40, max_depth=8)
+
+    def fit(self, samples: Sequence[TrainingSample]) -> "QorEstimator":
+        X = np.vstack([sample.features for sample in samples])
+        y = np.array([sample.quality for sample in samples])
+        self.model.fit(X, y)
+        return self
+
+    def estimate(self, accelerator: GaussianFilterAccelerator, config: Configuration) -> float:
+        features = configuration_features(accelerator, config).reshape(1, -1)
+        return float(self.model.predict(features)[0])
+
+
+class HwCostEstimator:
+    """Estimates one FPGA cost parameter of a configuration."""
+
+    def __init__(self, parameter: str, model: Optional[Regressor] = None):
+        self.parameter = parameter
+        self.model = model or ScaledRegressor(RidgeRegression(alpha=1.0))
+
+    def fit(self, samples: Sequence[TrainingSample]) -> "HwCostEstimator":
+        X = np.vstack([sample.features for sample in samples])
+        y = np.array([sample.cost[self.parameter] for sample in samples])
+        self.model.fit(X, y)
+        return self
+
+    def estimate(self, accelerator: GaussianFilterAccelerator, config: Configuration) -> float:
+        features = configuration_features(accelerator, config).reshape(1, -1)
+        return float(self.model.predict(features)[0])

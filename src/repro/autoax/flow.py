@@ -1,0 +1,162 @@
+"""The end-to-end AutoAx-FPGA flow (the paper's case study, Fig. 9).
+
+Given the Pareto-optimal FPGA approximate components produced by the
+ApproxFPGAs methodology (9 multipliers and 8 adders in the paper), the flow:
+
+1. evaluates a random sample of accelerator configurations exactly
+   (behavioural SSIM + composed FPGA cost) to build a training set;
+2. trains a QoR estimator and a HW-cost estimator per FPGA parameter;
+3. runs the Pareto-archive hill climber in each (parameter, SSIM) plane to
+   select a small set of candidate configurations;
+4. re-evaluates the candidates exactly and reports, per scenario, the final
+   Pareto front next to a plain random-search baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.pareto import hypervolume_2d, pareto_front_indices
+from .accelerator import ApproxComponent, Configuration, GaussianFilterAccelerator
+from .estimators import HwCostEstimator, QorEstimator, collect_training_samples
+from .images import default_image_set
+from .search import (
+    EvaluatedConfiguration,
+    exact_reevaluation,
+    hill_climb_pareto,
+    random_search,
+)
+
+
+@dataclass
+class AutoAxConfig:
+    """Configuration of the AutoAx-FPGA case study."""
+
+    parameters: Sequence[str] = ("latency", "power", "area")
+    num_training_samples: int = 80
+    num_random_baseline: int = 80
+    hill_climb_iterations: int = 300
+    image_size: int = 48
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if self.num_training_samples < 2:
+            raise ValueError("num_training_samples must be at least 2")
+        if self.num_random_baseline < 1:
+            raise ValueError("num_random_baseline must be at least 1")
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one (FPGA parameter, SSIM) optimisation scenario."""
+
+    parameter: str
+    candidates: List[EvaluatedConfiguration]
+    front: List[EvaluatedConfiguration]
+    num_candidates: int
+
+    def front_points(self) -> np.ndarray:
+        """(cost, ssim) points of the final front."""
+        return np.array([[entry.cost[self.parameter], entry.quality] for entry in self.front])
+
+
+@dataclass
+class AutoAxResult:
+    """Full outcome of the AutoAx-FPGA flow."""
+
+    scenarios: Dict[str, ScenarioResult]
+    baseline: List[EvaluatedConfiguration]
+    design_space_size: int
+    runtime_s: float
+    training_size: int
+
+    def baseline_front(self, parameter: str) -> List[EvaluatedConfiguration]:
+        """Pareto front of the random-search baseline for one parameter."""
+        points = np.array(
+            [[entry.cost[parameter], 1.0 - entry.quality] for entry in self.baseline]
+        )
+        keep = pareto_front_indices(points)
+        return [self.baseline[i] for i in keep]
+
+    def hypervolume_comparison(self, parameter: str) -> Dict[str, float]:
+        """Dominated hypervolume of AutoAx-FPGA vs the random baseline.
+
+        Both fronts are measured in the (cost, 1 - SSIM) plane against a
+        shared reference point; larger is better.
+        """
+        scenario = self.scenarios[parameter]
+        autoax_points = np.array(
+            [[entry.cost[parameter], 1.0 - entry.quality] for entry in scenario.candidates]
+        )
+        baseline_points = np.array(
+            [[entry.cost[parameter], 1.0 - entry.quality] for entry in self.baseline]
+        )
+        combined = np.vstack([autoax_points, baseline_points])
+        reference = combined.max(axis=0) * 1.05 + 1e-9
+        return {
+            "autoax": hypervolume_2d(autoax_points, reference),
+            "random": hypervolume_2d(baseline_points, reference),
+        }
+
+
+class AutoAxFpgaFlow:
+    """Orchestrates the AutoAx-FPGA case study."""
+
+    def __init__(
+        self,
+        multipliers: Sequence[ApproxComponent],
+        adders: Sequence[ApproxComponent],
+        config: Optional[AutoAxConfig] = None,
+        images: Optional[Sequence[np.ndarray]] = None,
+    ):
+        self.config = config or AutoAxConfig()
+        self.accelerator = GaussianFilterAccelerator(multipliers, adders)
+        self.images = list(images) if images is not None else default_image_set(self.config.image_size)
+
+    def run(self) -> AutoAxResult:
+        """Execute the case study and return the per-scenario results."""
+        config = self.config
+        start = time.perf_counter()
+
+        samples = collect_training_samples(
+            self.accelerator, self.images, config.num_training_samples, seed=config.seed
+        )
+        qor_estimator = QorEstimator().fit(samples)
+
+        scenarios: Dict[str, ScenarioResult] = {}
+        for offset, parameter in enumerate(config.parameters):
+            hw_estimator = HwCostEstimator(parameter).fit(samples)
+            candidates = hill_climb_pareto(
+                self.accelerator,
+                qor_estimator,
+                hw_estimator,
+                iterations=config.hill_climb_iterations,
+                seed=config.seed + 100 + offset,
+            )
+            evaluated = exact_reevaluation(self.accelerator, self.images, candidates)
+            points = np.array(
+                [[entry.cost[parameter], 1.0 - entry.quality] for entry in evaluated]
+            )
+            front_indices = pareto_front_indices(points) if len(evaluated) else []
+            scenarios[parameter] = ScenarioResult(
+                parameter=parameter,
+                candidates=evaluated,
+                front=[evaluated[i] for i in front_indices],
+                num_candidates=len(evaluated),
+            )
+
+        baseline = random_search(
+            self.accelerator, self.images, config.num_random_baseline, seed=config.seed + 999
+        )
+
+        return AutoAxResult(
+            scenarios=scenarios,
+            baseline=baseline,
+            design_space_size=self.accelerator.design_space_size,
+            runtime_s=time.perf_counter() - start,
+            training_size=len(samples),
+        )

@@ -1,0 +1,123 @@
+"""Search strategies over the accelerator's configuration space.
+
+AutoAx-FPGA uses a Pareto-archive hill climber driven by the estimators;
+the baseline it is compared against in Fig. 9 is plain random search with
+exact evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .accelerator import Configuration, GaussianFilterAccelerator
+from .estimators import HwCostEstimator, QorEstimator
+
+
+@dataclass
+class EvaluatedConfiguration:
+    """A configuration with its (exact or estimated) quality and cost."""
+
+    config: Configuration
+    quality: float
+    cost: Dict[str, float]
+
+    def objectives(self, parameter: str) -> Tuple[float, float]:
+        """(cost, quality loss) pair, both minimised."""
+        return (self.cost[parameter], 1.0 - self.quality)
+
+
+def _non_dominated(
+    archive: List[EvaluatedConfiguration], parameter: str
+) -> List[EvaluatedConfiguration]:
+    """Prune an archive to its non-dominated members (cost and 1-SSIM minimised)."""
+    if not archive:
+        return []
+    points = np.array([entry.objectives(parameter) for entry in archive])
+    from ..core.pareto import pareto_front_indices
+
+    keep = pareto_front_indices(points)
+    return [archive[i] for i in keep]
+
+
+def random_search(
+    accelerator: GaussianFilterAccelerator,
+    images: Sequence[np.ndarray],
+    num_samples: int,
+    seed: int = 23,
+) -> List[EvaluatedConfiguration]:
+    """Exactly evaluate ``num_samples`` uniformly random configurations."""
+    rng = np.random.default_rng(seed)
+    results: List[EvaluatedConfiguration] = []
+    for _ in range(num_samples):
+        config = accelerator.random_configuration(rng)
+        results.append(
+            EvaluatedConfiguration(
+                config=config,
+                quality=accelerator.quality(images, config),
+                cost=accelerator.hw_cost(config),
+            )
+        )
+    return results
+
+
+def hill_climb_pareto(
+    accelerator: GaussianFilterAccelerator,
+    qor_estimator: QorEstimator,
+    hw_estimator: HwCostEstimator,
+    iterations: int = 400,
+    archive_limit: int = 64,
+    seed: int = 31,
+) -> List[EvaluatedConfiguration]:
+    """Estimator-driven Pareto-archive hill climbing.
+
+    Starting from a small random archive, each iteration mutates one slot of
+    a randomly chosen archive member, scores the child with the estimators
+    and keeps the archive non-dominated in the (estimated cost, estimated
+    quality loss) plane.  Returns the final archive of *estimated*
+    Pareto-optimal configurations; callers re-evaluate them exactly.
+    """
+    rng = np.random.default_rng(seed)
+    parameter = hw_estimator.parameter
+
+    def evaluate(config: Configuration) -> EvaluatedConfiguration:
+        quality = float(np.clip(qor_estimator.estimate(accelerator, config), 0.0, 1.0))
+        cost = dict(accelerator.hw_cost(config))
+        cost[parameter] = hw_estimator.estimate(accelerator, config)
+        return EvaluatedConfiguration(config=config, quality=quality, cost=cost)
+
+    archive = [evaluate(accelerator.random_configuration(rng)) for _ in range(8)]
+    archive = _non_dominated(archive, parameter)
+
+    for _ in range(iterations):
+        parent = archive[int(rng.integers(0, len(archive)))]
+        child_config = accelerator.mutate_configuration(parent.config, rng)
+        child = evaluate(child_config)
+        archive.append(child)
+        archive = _non_dominated(archive, parameter)
+        if len(archive) > archive_limit:
+            # Keep a spread subset along the cost axis.
+            archive.sort(key=lambda entry: entry.cost[parameter])
+            indices = np.linspace(0, len(archive) - 1, archive_limit).round().astype(int)
+            archive = [archive[i] for i in dict.fromkeys(int(i) for i in indices)]
+    return archive
+
+
+def exact_reevaluation(
+    accelerator: GaussianFilterAccelerator,
+    images: Sequence[np.ndarray],
+    candidates: Sequence[EvaluatedConfiguration],
+) -> List[EvaluatedConfiguration]:
+    """Replace estimated quality/cost of candidates with exact measurements."""
+    results = []
+    for candidate in candidates:
+        results.append(
+            EvaluatedConfiguration(
+                config=candidate.config,
+                quality=accelerator.quality(images, candidate.config),
+                cost=accelerator.hw_cost(candidate.config),
+            )
+        )
+    return results

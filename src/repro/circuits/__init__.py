@@ -1,0 +1,38 @@
+"""Gate-level circuit intermediate representation and simulation."""
+
+from .gates import GATE_ARITY, GateType, evaluate_gate, gate_truth_table
+from .netlist import Gate, Netlist, NetlistError
+from .builder import NetlistBuilder
+from .metrics import StructuralMetrics, gate_type_counts, structural_metrics
+from .simulate import (
+    bits_to_words,
+    exhaustive_operands,
+    exhaustive_simulate,
+    random_operands,
+    simulate_bits,
+    simulate_words,
+    words_to_bits,
+)
+from .verilog import to_verilog
+
+__all__ = [
+    "GATE_ARITY",
+    "GateType",
+    "evaluate_gate",
+    "gate_truth_table",
+    "Gate",
+    "Netlist",
+    "NetlistError",
+    "NetlistBuilder",
+    "StructuralMetrics",
+    "gate_type_counts",
+    "structural_metrics",
+    "bits_to_words",
+    "exhaustive_operands",
+    "exhaustive_simulate",
+    "random_operands",
+    "simulate_bits",
+    "simulate_words",
+    "words_to_bits",
+    "to_verilog",
+]

@@ -1,0 +1,189 @@
+"""Convenience builder for constructing gate-level netlists.
+
+Generators express arithmetic circuits in terms of word-level inputs, bit
+signals and small reusable blocks (half adders, full adders, multiplexers).
+The builder keeps gates in topological order by construction, so any netlist
+it produces satisfies :meth:`Netlist.validate`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .gates import GateType
+from .netlist import Gate, Netlist
+
+
+class NetlistBuilder:
+    """Incrementally builds a :class:`Netlist`.
+
+    Typical use::
+
+        builder = NetlistBuilder("adder8", kind="adder")
+        a = builder.add_input_word("a", 8)
+        b = builder.add_input_word("b", 8)
+        ... create gates ...
+        netlist = builder.finish(sum_bits)
+    """
+
+    def __init__(self, name: str, kind: str, meta: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.kind = kind
+        self.meta: Dict[str, object] = dict(meta or {})
+        self._input_words: Dict[str, Tuple[int, ...]] = {}
+        self._num_inputs = 0
+        self._gates: List[Gate] = []
+        self._const_cache: Dict[GateType, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Inputs and raw gates
+    # ------------------------------------------------------------------ #
+    def add_input_word(self, name: str, width: int) -> List[int]:
+        """Declare an input word; returns its bit node ids, LSB first."""
+        if name in self._input_words:
+            raise ValueError(f"input word {name!r} already declared")
+        if self._gates:
+            raise ValueError("all input words must be declared before any gate")
+        bits = tuple(range(self._num_inputs, self._num_inputs + width))
+        self._num_inputs += width
+        self._input_words[name] = bits
+        return list(bits)
+
+    def add_gate(self, gate_type: GateType, a: int = -1, b: int = -1) -> int:
+        """Append a gate; returns the node id of its output."""
+        node_id = self._num_inputs + len(self._gates)
+        for operand in (a, b):
+            if operand >= node_id:
+                raise ValueError(
+                    f"gate operand {operand} is not yet defined (next id {node_id})"
+                )
+        self._gates.append(Gate(gate_type, a, b))
+        return node_id
+
+    # ------------------------------------------------------------------ #
+    # Logic helpers
+    # ------------------------------------------------------------------ #
+    def const0(self) -> int:
+        """Node id of a shared constant-0 signal."""
+        if GateType.CONST0 not in self._const_cache:
+            self._const_cache[GateType.CONST0] = self.add_gate(GateType.CONST0)
+        return self._const_cache[GateType.CONST0]
+
+    def const1(self) -> int:
+        """Node id of a shared constant-1 signal."""
+        if GateType.CONST1 not in self._const_cache:
+            self._const_cache[GateType.CONST1] = self.add_gate(GateType.CONST1)
+        return self._const_cache[GateType.CONST1]
+
+    def buf(self, a: int) -> int:
+        return self.add_gate(GateType.BUF, a)
+
+    def not_(self, a: int) -> int:
+        return self.add_gate(GateType.NOT, a)
+
+    def and_(self, a: int, b: int) -> int:
+        return self.add_gate(GateType.AND, a, b)
+
+    def or_(self, a: int, b: int) -> int:
+        return self.add_gate(GateType.OR, a, b)
+
+    def xor(self, a: int, b: int) -> int:
+        return self.add_gate(GateType.XOR, a, b)
+
+    def nand(self, a: int, b: int) -> int:
+        return self.add_gate(GateType.NAND, a, b)
+
+    def nor(self, a: int, b: int) -> int:
+        return self.add_gate(GateType.NOR, a, b)
+
+    def xnor(self, a: int, b: int) -> int:
+        return self.add_gate(GateType.XNOR, a, b)
+
+    def andnot(self, a: int, b: int) -> int:
+        return self.add_gate(GateType.ANDNOT, a, b)
+
+    def mux(self, select: int, when_false: int, when_true: int) -> int:
+        """2:1 multiplexer built from primitive gates."""
+        low = self.andnot(when_false, select)
+        high = self.and_(when_true, select)
+        return self.or_(low, high)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic blocks
+    # ------------------------------------------------------------------ #
+    def half_adder(self, a: int, b: int) -> Tuple[int, int]:
+        """Exact half adder; returns (sum, carry)."""
+        return self.xor(a, b), self.and_(a, b)
+
+    def full_adder(self, a: int, b: int, cin: int) -> Tuple[int, int]:
+        """Exact full adder; returns (sum, carry)."""
+        partial = self.xor(a, b)
+        total = self.xor(partial, cin)
+        carry = self.or_(self.and_(a, b), self.and_(partial, cin))
+        return total, carry
+
+    def approx_full_adder(self, a: int, b: int, cin: int, variant: int) -> Tuple[int, int]:
+        """Approximate full adder; returns (sum, carry).
+
+        Variants follow the classic approximate-mirror-adder style
+        simplifications used throughout the approximate-arithmetic
+        literature:
+
+        * ``0`` -- exact full adder.
+        * ``1`` -- sum approximated as NOT(carry) (AMA-like), exact carry.
+        * ``2`` -- carry approximated as ``a`` (propagates one operand),
+          sum exact with the approximate carry.
+        * ``3`` -- OR-based adder: sum = a OR b OR cin, carry = a AND b.
+        * ``4`` -- sum = a XOR b (carry-in ignored), carry = a AND b.
+        """
+        if variant == 0:
+            return self.full_adder(a, b, cin)
+        if variant == 1:
+            carry = self.or_(self.and_(a, b), self.and_(self.xor(a, b), cin))
+            return self.not_(carry), carry
+        if variant == 2:
+            carry = self.buf(a)
+            total = self.xor(self.xor(a, b), cin)
+            return total, carry
+        if variant == 3:
+            total = self.or_(self.or_(a, b), cin)
+            carry = self.and_(a, b)
+            return total, carry
+        if variant == 4:
+            return self.xor(a, b), self.and_(a, b)
+        raise ValueError(f"unknown approximate full-adder variant {variant}")
+
+    def ripple_chain(
+        self, a_bits: Sequence[int], b_bits: Sequence[int], cin: Optional[int] = None
+    ) -> Tuple[List[int], int]:
+        """Exact ripple-carry addition of two equal-width bit vectors.
+
+        Returns (sum_bits, carry_out).
+        """
+        if len(a_bits) != len(b_bits):
+            raise ValueError("ripple_chain operands must have equal width")
+        carry = cin if cin is not None else self.const0()
+        sums: List[int] = []
+        for a_bit, b_bit in zip(a_bits, b_bits):
+            s, carry = self.full_adder(a_bit, b_bit, carry)
+            sums.append(s)
+        return sums, carry
+
+    # ------------------------------------------------------------------ #
+    # Finalisation
+    # ------------------------------------------------------------------ #
+    def finish(self, output_bits: Sequence[int], meta: Optional[Dict[str, object]] = None) -> Netlist:
+        """Assemble the final :class:`Netlist` (validated)."""
+        final_meta = dict(self.meta)
+        if meta:
+            final_meta.update(meta)
+        netlist = Netlist(
+            name=self.name,
+            kind=self.kind,
+            input_words=dict(self._input_words),
+            output_bits=tuple(output_bits),
+            gates=list(self._gates),
+            meta=final_meta,
+        )
+        netlist.validate()
+        return netlist

@@ -1,0 +1,93 @@
+"""Structural metrics of gate-level netlists.
+
+These metrics serve two purposes: they are the raw material for the ML
+feature vectors (:mod:`repro.features`) and they provide quick sanity checks
+in tests (an approximate circuit should never be *larger* than it claims).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from .gates import GateType
+from .netlist import Netlist
+
+
+@dataclass(frozen=True)
+class StructuralMetrics:
+    """Summary of a netlist's structure."""
+
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    live_gates: int
+    depth: int
+    gate_counts: Dict[str, int]
+    max_fanout: int
+    mean_fanout: float
+    constant_outputs: int
+    passthrough_outputs: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary form (gate counts prefixed with ``count_``)."""
+        flat: Dict[str, float] = {
+            "num_inputs": self.num_inputs,
+            "num_outputs": self.num_outputs,
+            "num_gates": self.num_gates,
+            "live_gates": self.live_gates,
+            "depth": self.depth,
+            "max_fanout": self.max_fanout,
+            "mean_fanout": self.mean_fanout,
+            "constant_outputs": self.constant_outputs,
+            "passthrough_outputs": self.passthrough_outputs,
+        }
+        for gate_name, count in self.gate_counts.items():
+            flat[f"count_{gate_name.lower()}"] = count
+        return flat
+
+
+def gate_type_counts(netlist: Netlist, live_only: bool = True) -> Dict[str, int]:
+    """Number of gates of each type, optionally restricted to live logic."""
+    counts = {gate_type.name: 0 for gate_type in GateType}
+    if live_only:
+        mask = netlist.transitive_fanin()
+    for index, gate in enumerate(netlist.gates):
+        if live_only and not mask[netlist.gate_node_id(index)]:
+            continue
+        counts[gate.gate_type.name] += 1
+    return counts
+
+
+def structural_metrics(netlist: Netlist) -> StructuralMetrics:
+    """Compute the full structural summary of a netlist."""
+    fanouts = netlist.fanout_counts()
+    live_mask = netlist.transitive_fanin()
+    live_fanouts = fanouts[live_mask] if live_mask.any() else np.zeros(1)
+
+    constant_outputs = 0
+    passthrough_outputs = 0
+    for bit in netlist.output_bits:
+        if netlist.is_input_node(bit):
+            passthrough_outputs += 1
+            continue
+        gate = netlist.gate_of_node(bit)
+        if gate.gate_type in (GateType.CONST0, GateType.CONST1):
+            constant_outputs += 1
+        elif gate.gate_type == GateType.BUF and netlist.is_input_node(gate.a):
+            passthrough_outputs += 1
+
+    return StructuralMetrics(
+        num_inputs=netlist.num_inputs,
+        num_outputs=netlist.num_outputs,
+        num_gates=netlist.num_gates,
+        live_gates=netlist.live_gate_count(),
+        depth=netlist.depth(),
+        gate_counts=gate_type_counts(netlist, live_only=True),
+        max_fanout=int(fanouts.max()) if fanouts.size else 0,
+        mean_fanout=float(live_fanouts.mean()) if live_fanouts.size else 0.0,
+        constant_outputs=constant_outputs,
+        passthrough_outputs=passthrough_outputs,
+    )

@@ -1,0 +1,113 @@
+"""Vectorised behavioural simulation of gate-level netlists.
+
+All simulation is bit-parallel over NumPy boolean arrays: a single pass over
+the gate list evaluates the circuit for an arbitrary number of input
+patterns.  This is the "behavioural model" counterpart of the C models that
+ship with EvoApproxLib in the original paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .gates import evaluate_gate
+from .netlist import Netlist
+
+
+def simulate_bits(netlist: Netlist, input_bits: np.ndarray) -> np.ndarray:
+    """Simulate ``netlist`` on a (patterns, num_inputs) boolean matrix.
+
+    Returns a (patterns, num_outputs) boolean matrix with the output word,
+    column ``j`` being output bit ``j`` (LSB first).
+    """
+    input_bits = np.asarray(input_bits, dtype=bool)
+    if input_bits.ndim != 2 or input_bits.shape[1] != netlist.num_inputs:
+        raise ValueError(
+            f"expected input matrix of shape (patterns, {netlist.num_inputs}), "
+            f"got {input_bits.shape}"
+        )
+    patterns = input_bits.shape[0]
+    values = [input_bits[:, i] for i in range(netlist.num_inputs)]
+    zeros = np.zeros(patterns, dtype=bool)
+    for gate in netlist.gates:
+        a = values[gate.a] if gate.a >= 0 else zeros
+        b = values[gate.b] if gate.b >= 0 else zeros
+        values.append(evaluate_gate(gate.gate_type, a, b))
+    outputs = np.empty((patterns, netlist.num_outputs), dtype=bool)
+    for j, bit in enumerate(netlist.output_bits):
+        outputs[:, j] = values[bit]
+    return outputs
+
+
+def words_to_bits(values: np.ndarray, width: int) -> np.ndarray:
+    """Expand unsigned integers into a (n, width) boolean matrix, LSB first."""
+    values = np.asarray(values, dtype=np.int64)
+    if np.any(values < 0) or np.any(values >= (1 << width)):
+        raise ValueError(f"operand values out of range for a {width}-bit unsigned word")
+    shifts = np.arange(width, dtype=np.int64)
+    return ((values[:, None] >> shifts[None, :]) & 1).astype(bool)
+
+
+def bits_to_words(bits: np.ndarray) -> np.ndarray:
+    """Collapse a (n, width) boolean matrix (LSB first) into unsigned integers."""
+    bits = np.asarray(bits, dtype=bool)
+    width = bits.shape[1]
+    weights = (np.int64(1) << np.arange(width, dtype=np.int64))
+    return bits.astype(np.int64) @ weights
+
+
+def simulate_words(netlist: Netlist, operands: Mapping[str, Sequence[int]]) -> np.ndarray:
+    """Simulate the netlist on integer operand vectors.
+
+    ``operands`` must provide a value array for every input word of the
+    netlist; all arrays must have the same length.
+    """
+    missing = set(netlist.input_words) - set(operands)
+    if missing:
+        raise ValueError(f"missing operand values for input words: {sorted(missing)}")
+    lengths = {len(np.asarray(operands[name])) for name in netlist.input_words}
+    if len(lengths) != 1:
+        raise ValueError("all operand arrays must have the same length")
+    patterns = lengths.pop()
+
+    input_bits = np.zeros((patterns, netlist.num_inputs), dtype=bool)
+    for name, bit_ids in netlist.input_words.items():
+        word_bits = words_to_bits(np.asarray(operands[name]), len(bit_ids))
+        for position, node_id in enumerate(bit_ids):
+            input_bits[:, node_id] = word_bits[:, position]
+    output_bits = simulate_bits(netlist, input_bits)
+    return bits_to_words(output_bits)
+
+
+def exhaustive_operands(netlist: Netlist) -> Mapping[str, np.ndarray]:
+    """All input-word combinations of the netlist, in row-major operand order."""
+    names = list(netlist.input_words)
+    widths = [len(netlist.input_words[name]) for name in names]
+    grids = np.meshgrid(*[np.arange(1 << w, dtype=np.int64) for w in widths], indexing="ij")
+    return {name: grid.reshape(-1) for name, grid in zip(names, grids)}
+
+
+def exhaustive_simulate(netlist: Netlist) -> np.ndarray:
+    """Output word for every input combination.
+
+    The number of patterns is ``2 ** num_inputs``; callers are expected to use
+    this only for circuits with at most ~20 input bits.
+    """
+    if netlist.num_inputs > 24:
+        raise ValueError(
+            f"exhaustive simulation of {netlist.num_inputs} input bits is "
+            "infeasible; use sampled simulation instead"
+        )
+    return simulate_words(netlist, exhaustive_operands(netlist))
+
+
+def random_operands(
+    netlist: Netlist, num_samples: int, rng: np.random.Generator
+) -> Mapping[str, np.ndarray]:
+    """Uniformly random operand vectors for sampled (Monte-Carlo) evaluation."""
+    operands = {}
+    for name, bit_ids in netlist.input_words.items():
+        operands[name] = rng.integers(0, 1 << len(bit_ids), size=num_samples, dtype=np.int64)
+    return operands

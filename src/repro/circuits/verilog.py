@@ -1,0 +1,83 @@
+"""Structural Verilog export of gate-level netlists.
+
+The original EvoApproxLib ships every approximate circuit as synthesisable
+Verilog.  This module provides the equivalent export so that generated
+libraries can be inspected, archived, or fed to an external tool-chain if one
+is available.  The export is purely textual -- nothing in the reproduction
+pipeline depends on parsing it back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .gates import GateType
+from .netlist import Netlist
+
+_VERILOG_OPERATORS: Dict[GateType, str] = {
+    GateType.AND: "&",
+    GateType.OR: "|",
+    GateType.XOR: "^",
+    GateType.NAND: "&",
+    GateType.NOR: "|",
+    GateType.XNOR: "^",
+    GateType.ANDNOT: "&",
+    GateType.ORNOT: "|",
+}
+
+_NEGATED_RESULT = {GateType.NAND, GateType.NOR, GateType.XNOR}
+_NEGATED_SECOND_OPERAND = {GateType.ANDNOT, GateType.ORNOT}
+
+
+def _sanitize(name: str) -> str:
+    """Make an identifier safe for Verilog."""
+    safe = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if not safe or safe[0].isdigit():
+        safe = "m_" + safe
+    return safe
+
+
+def to_verilog(netlist: Netlist, module_name: str | None = None) -> str:
+    """Render the netlist as a single structural Verilog module."""
+    module = _sanitize(module_name or netlist.name)
+    node_names: List[str] = [""] * netlist.num_nodes
+    for word, bits in netlist.input_words.items():
+        for position, node_id in enumerate(bits):
+            node_names[node_id] = f"{_sanitize(word)}[{position}]"
+    for index in range(netlist.num_gates):
+        node_names[netlist.num_inputs + index] = f"n{index}"
+
+    lines: List[str] = []
+    ports = [_sanitize(word) for word in netlist.input_words] + ["out"]
+    lines.append(f"module {module} ({', '.join(ports)});")
+    for word, bits in netlist.input_words.items():
+        lines.append(f"  input  [{len(bits) - 1}:0] {_sanitize(word)};")
+    lines.append(f"  output [{netlist.num_outputs - 1}:0] out;")
+    if netlist.num_gates:
+        lines.append(f"  wire n0" + "".join(f", n{i}" for i in range(1, netlist.num_gates)) + ";")
+
+    for index, gate in enumerate(netlist.gates):
+        target = node_names[netlist.num_inputs + index]
+        if gate.gate_type == GateType.CONST0:
+            expression = "1'b0"
+        elif gate.gate_type == GateType.CONST1:
+            expression = "1'b1"
+        elif gate.gate_type == GateType.BUF:
+            expression = node_names[gate.a]
+        elif gate.gate_type == GateType.NOT:
+            expression = f"~{node_names[gate.a]}"
+        else:
+            operator = _VERILOG_OPERATORS[gate.gate_type]
+            left = node_names[gate.a]
+            right = node_names[gate.b]
+            if gate.gate_type in _NEGATED_SECOND_OPERAND:
+                right = f"(~{right})"
+            expression = f"{left} {operator} {right}"
+            if gate.gate_type in _NEGATED_RESULT:
+                expression = f"~({expression})"
+        lines.append(f"  assign {target} = {expression};")
+
+    for position, bit in enumerate(netlist.output_bits):
+        lines.append(f"  assign out[{position}] = {node_names[bit]};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,77 @@
+"""The fidelity metric of Eq. (1)-(2).
+
+Fidelity measures how well an estimator preserves the *ordering* of circuits
+rather than their absolute values: for every ordered pair of circuits the
+relation (<, =, >) between the estimated parameters must match the relation
+between the measured parameters.  This is the metric the paper uses to rank
+the 18 S/ML models, because Pareto-front construction only depends on the
+ordering of candidates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pairwise_relation_matrix(values: np.ndarray, tolerance: float = 0.0) -> np.ndarray:
+    """Sign matrix R[i, j] = sign(values[i] - values[j]) with a tie tolerance."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    difference = values[:, None] - values[None, :]
+    relations = np.sign(difference)
+    if tolerance > 0.0:
+        relations[np.abs(difference) <= tolerance] = 0.0
+    return relations
+
+
+def fidelity(
+    measured: np.ndarray,
+    estimated: np.ndarray,
+    tolerance: float = 0.0,
+) -> float:
+    """Fraction of ordered pairs whose (<, =, >) relation is preserved.
+
+    Implements Eq. (1)-(2) of the paper: the double sum runs over all ordered
+    pairs including the diagonal (which always matches), and the result is
+    normalised by ``|X|^2``.
+
+    Parameters
+    ----------
+    measured:
+        Ground-truth FPGA parameter values.
+    estimated:
+        Model estimates for the same circuits, in the same order.
+    tolerance:
+        Absolute difference below which two values are considered equal.  The
+        paper uses exact comparison; a small tolerance makes the metric
+        robust for continuous estimates (defaults to exact).
+    """
+    measured = np.asarray(measured, dtype=np.float64).ravel()
+    estimated = np.asarray(estimated, dtype=np.float64).ravel()
+    if measured.shape != estimated.shape:
+        raise ValueError("measured and estimated must have the same length")
+    if measured.size == 0:
+        raise ValueError("fidelity of an empty set is undefined")
+
+    measured_relations = pairwise_relation_matrix(measured, tolerance)
+    estimated_relations = pairwise_relation_matrix(estimated, tolerance)
+    matches = (measured_relations == estimated_relations).sum()
+    return float(matches) / float(measured.size ** 2)
+
+
+def fidelity_strict(measured: np.ndarray, estimated: np.ndarray) -> float:
+    """Fidelity over *distinct* pairs only (diagonal excluded).
+
+    A slightly harsher variant useful in tests: the diagonal trivially
+    matches, so excluding it removes the ``1/n`` optimistic bias.
+    """
+    measured = np.asarray(measured, dtype=np.float64).ravel()
+    estimated = np.asarray(estimated, dtype=np.float64).ravel()
+    if measured.shape != estimated.shape:
+        raise ValueError("measured and estimated must have the same length")
+    n = measured.size
+    if n < 2:
+        raise ValueError("fidelity_strict requires at least two circuits")
+    measured_relations = pairwise_relation_matrix(measured)
+    estimated_relations = pairwise_relation_matrix(estimated)
+    matches = (measured_relations == estimated_relations).sum() - n
+    return float(matches) / float(n * (n - 1))

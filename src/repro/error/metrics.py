@@ -1,0 +1,103 @@
+"""Error metrics for approximate arithmetic circuits.
+
+The headline metric of the paper is the Mean Error Distance (MED), defined
+there as "the average of the absolute error difference across all the input
+combinations relative to the maximum number of outputs", i.e. the mean
+absolute error normalised by the maximum representable output value.  The
+other metrics are the standard companions used throughout the approximate
+computing literature and by AutoAx.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ErrorMetrics:
+    """Error statistics of an approximate circuit against its golden reference."""
+
+    med: float
+    """Mean error distance: mean(|approx - exact|) / max_output."""
+
+    mae: float
+    """Mean absolute error (unnormalised)."""
+
+    wce: float
+    """Worst-case absolute error."""
+
+    wce_relative: float
+    """Worst-case absolute error normalised by the maximum output value."""
+
+    mre: float
+    """Mean relative error, with |exact| clamped to 1 to avoid division by zero."""
+
+    error_probability: float
+    """Fraction of input patterns on which the outputs differ."""
+
+    mse: float
+    """Mean squared error (unnormalised)."""
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "med": self.med,
+            "mae": self.mae,
+            "wce": self.wce,
+            "wce_relative": self.wce_relative,
+            "mre": self.mre,
+            "error_probability": self.error_probability,
+            "mse": self.mse,
+        }
+
+
+def compute_error_metrics(
+    exact_outputs: np.ndarray,
+    approx_outputs: np.ndarray,
+    max_output: int,
+) -> ErrorMetrics:
+    """Compute all error metrics from paired exact/approximate output vectors.
+
+    Parameters
+    ----------
+    exact_outputs, approx_outputs:
+        Integer output words of the reference and the approximate circuit for
+        the same input patterns.
+    max_output:
+        Maximum representable value of the output word, used for the
+        normalised metrics (MED, relative WCE).
+    """
+    exact_outputs = np.asarray(exact_outputs, dtype=np.int64)
+    approx_outputs = np.asarray(approx_outputs, dtype=np.int64)
+    if exact_outputs.shape != approx_outputs.shape:
+        raise ValueError("exact and approximate output vectors must have the same shape")
+    if exact_outputs.size == 0:
+        raise ValueError("cannot compute error metrics on an empty output vector")
+    if max_output <= 0:
+        raise ValueError("max_output must be positive")
+
+    difference = np.abs(approx_outputs - exact_outputs).astype(np.float64)
+    mae = float(difference.mean())
+    wce = float(difference.max())
+    denominator = np.maximum(np.abs(exact_outputs).astype(np.float64), 1.0)
+    mre = float((difference / denominator).mean())
+    error_probability = float((difference > 0).mean())
+    mse = float((difference ** 2).mean())
+    return ErrorMetrics(
+        med=mae / float(max_output),
+        mae=mae,
+        wce=wce,
+        wce_relative=wce / float(max_output),
+        mre=mre,
+        error_probability=error_probability,
+        mse=mse,
+    )
+
+
+def mean_error_distance(
+    exact_outputs: np.ndarray, approx_outputs: np.ndarray, max_output: int
+) -> float:
+    """Shorthand for only the paper's MED metric."""
+    return compute_error_metrics(exact_outputs, approx_outputs, max_output).med

@@ -1,0 +1,19 @@
+"""Feature extraction for the S/ML cost models."""
+
+from .extract import (
+    ASIC_FEATURE_NAMES,
+    FEATURE_NAMES,
+    STRUCTURAL_FEATURE_NAMES,
+    CircuitFeatures,
+    extract_features,
+    feature_matrix,
+)
+
+__all__ = [
+    "ASIC_FEATURE_NAMES",
+    "FEATURE_NAMES",
+    "STRUCTURAL_FEATURE_NAMES",
+    "CircuitFeatures",
+    "extract_features",
+    "feature_matrix",
+]

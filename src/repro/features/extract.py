@@ -1,0 +1,105 @@
+"""Feature extraction for the S/ML cost models.
+
+The paper trains its models on "the hardware description of the AC" plus the
+ASIC metrics.  Here every circuit is summarised by a fixed-length numeric
+vector combining:
+
+* structural features of the gate-level netlist (gate counts per type,
+  depth, fanout statistics, interface widths), and
+* the ASIC report (area, latency, power, cell count), which is cheap to
+  obtain for the whole library and is exactly what ML1-ML3 regress on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..asic import AsicReport, AsicSynthesizer
+from ..circuits import GateType, Netlist, structural_metrics
+
+#: Order of the structural feature block.
+STRUCTURAL_FEATURE_NAMES: Tuple[str, ...] = (
+    "num_inputs",
+    "num_outputs",
+    "num_gates",
+    "live_gates",
+    "depth",
+    "max_fanout",
+    "mean_fanout",
+    "constant_outputs",
+    "passthrough_outputs",
+) + tuple(f"count_{gate_type.name.lower()}" for gate_type in GateType)
+
+#: Order of the ASIC feature block (names match AsicReport.as_dict()).
+ASIC_FEATURE_NAMES: Tuple[str, ...] = (
+    "asic_area_um2",
+    "asic_latency_ns",
+    "asic_power_mw",
+    "asic_cell_count",
+)
+
+#: Full default feature vector layout.
+FEATURE_NAMES: Tuple[str, ...] = STRUCTURAL_FEATURE_NAMES + ASIC_FEATURE_NAMES
+
+
+@dataclass(frozen=True)
+class CircuitFeatures:
+    """Feature vector of a single circuit."""
+
+    circuit_name: str
+    names: Tuple[str, ...]
+    values: np.ndarray
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(zip(self.names, self.values.tolist()))
+
+
+def extract_features(
+    netlist: Netlist,
+    asic_report: Optional[AsicReport] = None,
+    asic_synthesizer: Optional[AsicSynthesizer] = None,
+) -> CircuitFeatures:
+    """Extract the feature vector of one circuit.
+
+    The ASIC report is synthesized on the fly when not supplied; pass a
+    shared :class:`AsicSynthesizer` to reuse its configuration.
+    """
+    structure = structural_metrics(netlist).as_dict()
+    if asic_report is None:
+        asic_report = (asic_synthesizer or AsicSynthesizer()).synthesize(netlist)
+    asic = asic_report.as_dict()
+
+    values = []
+    for name in STRUCTURAL_FEATURE_NAMES:
+        values.append(float(structure.get(name, 0.0)))
+    for name in ASIC_FEATURE_NAMES:
+        values.append(float(asic[name]))
+    return CircuitFeatures(
+        circuit_name=netlist.name,
+        names=FEATURE_NAMES,
+        values=np.asarray(values, dtype=np.float64),
+    )
+
+
+def feature_matrix(
+    circuits: Sequence[Netlist],
+    asic_reports: Optional[Sequence[AsicReport]] = None,
+    asic_synthesizer: Optional[AsicSynthesizer] = None,
+) -> Tuple[np.ndarray, List[str]]:
+    """Stack the feature vectors of many circuits into a matrix.
+
+    Returns ``(X, feature_names)`` with one row per circuit, in order.
+    """
+    if asic_reports is not None and len(asic_reports) != len(circuits):
+        raise ValueError("asic_reports must align one-to-one with circuits")
+    synthesizer = asic_synthesizer or AsicSynthesizer()
+    rows = []
+    for index, circuit in enumerate(circuits):
+        report = asic_reports[index] if asic_reports is not None else None
+        rows.append(extract_features(circuit, asic_report=report, asic_synthesizer=synthesizer).values)
+    if not rows:
+        return np.zeros((0, len(FEATURE_NAMES))), list(FEATURE_NAMES)
+    return np.vstack(rows), list(FEATURE_NAMES)

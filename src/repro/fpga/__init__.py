@@ -1,0 +1,36 @@
+"""FPGA synthesis substrate (LUT mapping, packing, timing, power)."""
+
+from .device import FpgaDevice, default_device
+from .lut_mapping import Lut, LutMapping, map_to_luts
+from .packing import PackingResult, Slice, pack_slices
+from .power import PowerReport, analyze_power
+from .timing import TimingReport, analyze_timing
+from .synthesis import (
+    FPGA_PARAMETERS,
+    FpgaReport,
+    FpgaSynthesisResult,
+    FpgaSynthesizer,
+    estimate_synthesis_time,
+    synthesize_fpga,
+)
+
+__all__ = [
+    "FpgaDevice",
+    "default_device",
+    "Lut",
+    "LutMapping",
+    "map_to_luts",
+    "PackingResult",
+    "Slice",
+    "pack_slices",
+    "PowerReport",
+    "analyze_power",
+    "TimingReport",
+    "analyze_timing",
+    "FPGA_PARAMETERS",
+    "FpgaReport",
+    "FpgaSynthesisResult",
+    "FpgaSynthesizer",
+    "estimate_synthesis_time",
+    "synthesize_fpga",
+]

@@ -1,0 +1,67 @@
+"""FPGA device model.
+
+The parameters describe a Xilinx 7-series Virtex-class device (the paper
+targets ``xc7vx485tffg1157-1``): 6-input LUTs, four LUTs per slice, and
+delay / energy figures in the range published for 28nm 7-series fabric.  As
+with the ASIC cell library the absolute values are representative rather
+than vendor-exact; what matters for the methodology is that FPGA costs are
+produced by LUT-level mapping, not gate counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Architecture and electrical parameters of the target FPGA."""
+
+    name: str
+    lut_size: int
+    luts_per_slice: int
+    lut_delay_ns: float
+    """Combinational delay through one LUT."""
+
+    routing_delay_ns: float
+    """Base routing delay of a net between two LUTs."""
+
+    routing_fanout_delay_ns: float
+    """Additional routing delay per unit of fanout of the driving LUT."""
+
+    input_delay_ns: float
+    """Delay from a primary input (IOB) to the first LUT."""
+
+    lut_dynamic_energy_fj: float
+    """Switched energy of one LUT output toggle (LUT + local interconnect)."""
+
+    net_dynamic_energy_fj: float
+    """Switched energy per fanout of a routed net."""
+
+    static_power_per_lut_uw: float
+    """Leakage attributed to one occupied LUT."""
+
+    static_power_base_mw: float
+    """Device static power floor attributed to the design (clock tree, config)."""
+
+    total_luts: int
+    total_slices: int
+
+
+def default_device() -> FpgaDevice:
+    """The Virtex-7 class device used throughout the reproduction."""
+    return FpgaDevice(
+        name="xc7vx485t-sim",
+        lut_size=6,
+        luts_per_slice=4,
+        lut_delay_ns=0.124,
+        routing_delay_ns=0.387,
+        routing_fanout_delay_ns=0.021,
+        input_delay_ns=0.250,
+        lut_dynamic_energy_fj=9.5,
+        net_dynamic_energy_fj=3.2,
+        static_power_per_lut_uw=1.4,
+        static_power_base_mw=0.35,
+        total_luts=303600,
+        total_slices=75900,
+    )

@@ -1,0 +1,158 @@
+"""K-input LUT technology mapping.
+
+The mapper is a greedy depth-oriented cut-absorption algorithm (a
+light-weight relative of FlowMap / priority-cut mapping): every gate keeps a
+single best cut, formed by absorbing the cuts of its fan-ins whenever the
+merged leaf set still fits into a K-input LUT, and falling back to the
+fan-ins themselves otherwise.  The final cover is extracted from the outputs
+downwards.  Constant and buffer nodes are propagated for free, as Vivado
+would sweep them during optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..circuits import GateType, Netlist
+
+
+@dataclass(frozen=True)
+class Lut:
+    """One mapped LUT: the gate node it implements and its leaf inputs."""
+
+    root: int
+    leaves: FrozenSet[int]
+    level: int
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.leaves)
+
+
+@dataclass
+class LutMapping:
+    """Result of technology mapping a netlist onto K-input LUTs."""
+
+    netlist: Netlist
+    lut_size: int
+    luts: List[Lut]
+    output_sources: Dict[int, str] = field(default_factory=dict)
+    """How each output bit is driven: ``"lut"``, ``"input"`` or ``"constant"``."""
+
+    @property
+    def num_luts(self) -> int:
+        return len(self.luts)
+
+    @property
+    def depth(self) -> int:
+        """Maximum LUT level over all mapped LUTs (0 when no LUT is needed)."""
+        return max((lut.level for lut in self.luts), default=0)
+
+    def lut_by_root(self) -> Dict[int, Lut]:
+        return {lut.root: lut for lut in self.luts}
+
+    def fanout_counts(self) -> Dict[int, int]:
+        """How many LUT inputs / circuit outputs each mapped LUT (or PI) drives."""
+        counts: Dict[int, int] = {}
+        for lut in self.luts:
+            for leaf in lut.leaves:
+                counts[leaf] = counts.get(leaf, 0) + 1
+        for bit in self.netlist.output_bits:
+            counts[bit] = counts.get(bit, 0) + 1
+        return counts
+
+
+def _constant_nodes(netlist: Netlist) -> Set[int]:
+    """Nodes whose value is a constant (constants and gates fed only by constants)."""
+    constants: Set[int] = set()
+    for index, gate in enumerate(netlist.gates):
+        node_id = netlist.gate_node_id(index)
+        if gate.gate_type in (GateType.CONST0, GateType.CONST1):
+            constants.add(node_id)
+            continue
+        operands = gate.operands()
+        if operands and all(o in constants for o in operands):
+            constants.add(node_id)
+    return constants
+
+
+def map_to_luts(netlist: Netlist, lut_size: int = 6) -> LutMapping:
+    """Map ``netlist`` onto ``lut_size``-input LUTs.
+
+    Returns the selected LUT cover.  Buffers and constant logic are absorbed;
+    output bits driven directly by primary inputs or constants require no
+    LUT.
+    """
+    if lut_size < 2:
+        raise ValueError("lut_size must be at least 2")
+    num_inputs = netlist.num_inputs
+    constants = _constant_nodes(netlist)
+
+    # alias[n]: node whose logic value n simply forwards (through BUF chains).
+    alias: Dict[int, int] = {}
+
+    def resolve(node: int) -> int:
+        while node in alias:
+            node = alias[node]
+        return node
+
+    best_cut: Dict[int, FrozenSet[int]] = {}
+    level: Dict[int, int] = {}
+
+    def leaf_level(leaf: int) -> int:
+        if leaf < num_inputs:
+            return 0
+        return level[leaf]
+
+    for index, gate in enumerate(netlist.gates):
+        node_id = netlist.gate_node_id(index)
+        if node_id in constants:
+            continue
+        if gate.gate_type == GateType.BUF:
+            alias[node_id] = resolve(gate.a)
+            continue
+        operands = [resolve(o) for o in gate.operands() if resolve(o) not in constants]
+        if not operands:
+            constants.add(node_id)
+            continue
+
+        merged: Set[int] = set()
+        for operand in operands:
+            if operand < num_inputs:
+                merged.add(operand)
+            else:
+                merged.update(best_cut[operand])
+        if len(merged) <= lut_size:
+            cut = frozenset(merged)
+        else:
+            cut = frozenset(operands)
+        best_cut[node_id] = cut
+        level[node_id] = 1 + max((leaf_level(leaf) for leaf in cut), default=0)
+
+    # Cover extraction from the outputs downwards.
+    selected: Dict[int, Lut] = {}
+    output_sources: Dict[int, str] = {}
+    stack: List[int] = []
+    for bit in netlist.output_bits:
+        target = resolve(bit)
+        if target in constants:
+            output_sources[bit] = "constant"
+        elif target < num_inputs:
+            output_sources[bit] = "input"
+        else:
+            output_sources[bit] = "lut"
+            stack.append(target)
+
+    while stack:
+        root = stack.pop()
+        if root in selected:
+            continue
+        cut = best_cut[root]
+        selected[root] = Lut(root=root, leaves=cut, level=level[root])
+        for leaf in cut:
+            if leaf >= num_inputs and leaf not in constants and leaf not in selected:
+                stack.append(leaf)
+
+    luts = sorted(selected.values(), key=lambda lut: lut.root)
+    return LutMapping(netlist=netlist, lut_size=lut_size, luts=luts, output_sources=output_sources)

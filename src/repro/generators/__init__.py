@@ -1,0 +1,55 @@
+"""Approximate arithmetic circuit generators (EvoApproxLib substitute)."""
+
+from .exact import (
+    array_multiplier,
+    carry_select_adder,
+    exact_reference,
+    ripple_carry_adder,
+    wallace_multiplier,
+)
+from .adders import (
+    approximate_fa_adder,
+    carry_cut_adder,
+    lower_or_adder,
+    truncated_adder,
+)
+from .multipliers import (
+    approximate_cell_multiplier,
+    broken_array_multiplier,
+    or_partial_product_multiplier,
+    recursive_multiplier,
+    truncated_multiplier,
+)
+from .perturbation import PerturbationConfig, perturb_netlist, perturbation_sweep
+from .library import (
+    CircuitLibrary,
+    build_adder_library,
+    build_library,
+    build_multiplier_library,
+    default_library_plan,
+)
+
+__all__ = [
+    "array_multiplier",
+    "carry_select_adder",
+    "exact_reference",
+    "ripple_carry_adder",
+    "wallace_multiplier",
+    "approximate_fa_adder",
+    "carry_cut_adder",
+    "lower_or_adder",
+    "truncated_adder",
+    "approximate_cell_multiplier",
+    "broken_array_multiplier",
+    "or_partial_product_multiplier",
+    "recursive_multiplier",
+    "truncated_multiplier",
+    "PerturbationConfig",
+    "perturb_netlist",
+    "perturbation_sweep",
+    "CircuitLibrary",
+    "build_adder_library",
+    "build_library",
+    "build_multiplier_library",
+    "default_library_plan",
+]

@@ -1,0 +1,166 @@
+"""Parametric approximate adder generators.
+
+The families implemented here mirror the designs most frequently used to
+seed approximate-arithmetic libraries:
+
+* **Truncated adders** -- the ``k`` least-significant result bits are forced
+  to constants and the corresponding carry logic is removed.
+* **Lower-part OR adders (LOA)** -- the ``k`` low bits are computed with a
+  plain OR, the upper part is an exact adder whose carry-in speculates from
+  the top bit of the low part.
+* **Approximate-full-adder substitution (AFA)** -- the ``k`` low positions of
+  a ripple-carry adder use one of the classic approximate full-adder cells.
+* **Carry-cut (segmented) adders** -- the carry chain is cut into fixed-size
+  segments; each segment speculates carry-in from a short look-back window,
+  in the spirit of ETAII/ACA-style speculative adders.
+
+Every generator produces a :class:`~repro.circuits.Netlist` whose ``meta``
+records the family and the approximation parameters, which downstream code
+uses for feature extraction and reporting.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuits import NetlistBuilder, Netlist
+
+
+def truncated_adder(width: int, cut: int, fill_one: bool = False) -> Netlist:
+    """Adder that ignores the ``cut`` least-significant bit positions.
+
+    The low result bits are tied to 0 (or 1 when ``fill_one``), the upper part
+    is an exact ripple-carry adder with carry-in 0.
+    """
+    if not (0 <= cut <= width):
+        raise ValueError("cut must be between 0 and the adder width")
+    builder = NetlistBuilder(
+        f"add{width}_trunc{cut}{'_f1' if fill_one else ''}", kind="adder"
+    )
+    a = builder.add_input_word("a", width)
+    b = builder.add_input_word("b", width)
+    low = [builder.const1() if fill_one else builder.const0() for _ in range(cut)]
+    high, carry = builder.ripple_chain(a[cut:], b[cut:])
+    return builder.finish(
+        low + high + [carry],
+        meta={
+            "family": "trunc_adder",
+            "bitwidth": width,
+            "cut": cut,
+            "fill_one": fill_one,
+            "exact": cut == 0,
+        },
+    )
+
+
+def lower_or_adder(width: int, cut: int, speculate_carry: bool = True) -> Netlist:
+    """Lower-part OR adder (LOA).
+
+    The ``cut`` low result bits are ``a | b``; the upper part is exact.  When
+    ``speculate_carry`` is set, the carry into the upper part is
+    ``a[cut-1] & b[cut-1]`` (the classic LOA carry speculation), otherwise 0.
+    """
+    if not (0 <= cut <= width):
+        raise ValueError("cut must be between 0 and the adder width")
+    builder = NetlistBuilder(
+        f"add{width}_loa{cut}{'' if speculate_carry else '_nc'}", kind="adder"
+    )
+    a = builder.add_input_word("a", width)
+    b = builder.add_input_word("b", width)
+    low = [builder.or_(a[i], b[i]) for i in range(cut)]
+    if cut > 0 and speculate_carry:
+        carry_in = builder.and_(a[cut - 1], b[cut - 1])
+    else:
+        carry_in = builder.const0()
+    high, carry = builder.ripple_chain(a[cut:], b[cut:], carry_in)
+    return builder.finish(
+        low + high + [carry],
+        meta={
+            "family": "loa",
+            "bitwidth": width,
+            "cut": cut,
+            "speculate_carry": speculate_carry,
+            "exact": cut == 0,
+        },
+    )
+
+
+def approximate_fa_adder(width: int, cut: int, variant: int) -> Netlist:
+    """Ripple-carry adder whose ``cut`` low positions use approximate full adders.
+
+    ``variant`` selects the approximate cell, see
+    :meth:`repro.circuits.NetlistBuilder.approx_full_adder`.
+    """
+    if not (0 <= cut <= width):
+        raise ValueError("cut must be between 0 and the adder width")
+    builder = NetlistBuilder(f"add{width}_afa{variant}_c{cut}", kind="adder")
+    a = builder.add_input_word("a", width)
+    b = builder.add_input_word("b", width)
+    carry = builder.const0()
+    sums: List[int] = []
+    for position in range(width):
+        if position < cut:
+            total, carry = builder.approx_full_adder(a[position], b[position], carry, variant)
+        else:
+            total, carry = builder.full_adder(a[position], b[position], carry)
+        sums.append(total)
+    return builder.finish(
+        sums + [carry],
+        meta={
+            "family": "afa",
+            "bitwidth": width,
+            "cut": cut,
+            "variant": variant,
+            "exact": cut == 0,
+        },
+    )
+
+
+def carry_cut_adder(width: int, segment: int, lookback: int = 0) -> Netlist:
+    """Segmented (carry-cut) adder in the spirit of ETAII / ACA.
+
+    The adder is split into segments of ``segment`` bits.  Each segment is an
+    exact ripple adder, but its carry-in is *speculated* from the previous
+    ``lookback`` bit positions instead of the full carry chain (``lookback``
+    of 0 means the carry is simply cut).
+    """
+    if segment < 1:
+        raise ValueError("segment size must be at least 1")
+    if lookback < 0:
+        raise ValueError("lookback must be non-negative")
+    builder = NetlistBuilder(f"add{width}_seg{segment}_lb{lookback}", kind="adder")
+    a = builder.add_input_word("a", width)
+    b = builder.add_input_word("b", width)
+
+    sums: List[int] = []
+    last_carry = builder.const0()
+    position = 0
+    while position < width:
+        size = min(segment, width - position)
+        if position == 0:
+            carry_in = builder.const0()
+        elif lookback == 0:
+            carry_in = builder.const0()
+        else:
+            # Speculative carry: generate/propagate over the lookback window.
+            start = max(0, position - lookback)
+            carry_in = builder.const0()
+            for bit in range(start, position):
+                generate = builder.and_(a[bit], b[bit])
+                propagate = builder.or_(a[bit], b[bit])
+                carry_in = builder.or_(generate, builder.and_(propagate, carry_in))
+        block_sums, last_carry = builder.ripple_chain(
+            a[position:position + size], b[position:position + size], carry_in
+        )
+        sums.extend(block_sums)
+        position += size
+    return builder.finish(
+        sums + [last_carry],
+        meta={
+            "family": "carry_cut",
+            "bitwidth": width,
+            "segment": segment,
+            "lookback": lookback,
+            "exact": segment >= width,
+        },
+    )

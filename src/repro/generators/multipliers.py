@@ -1,0 +1,287 @@
+"""Parametric approximate multiplier generators.
+
+Implemented families (all unsigned, ``width x width`` with ``2 * width``
+output bits):
+
+* **Truncated multipliers** -- the ``cut`` least-significant partial-product
+  columns are dropped and the corresponding output bits tied to 0.
+* **Broken-array multipliers (BAM)** -- partial products below a horizontal /
+  vertical break line are omitted, shrinking the carry-save array.
+* **Approximate-cell array multipliers** -- the reduction cells of the
+  ``cut`` least-significant columns are replaced with approximate full
+  adders.
+* **Kulkarni-style recursive multipliers** -- the operand is split
+  recursively down to 2x2 blocks; a configurable number of the 2x2 base
+  blocks use the classic inaccurate 2x2 multiplier (3*3 = 7).
+* **OR-based partial-product multipliers** -- the AND partial products of the
+  low columns are replaced with ORs, a multiplier analogue of LOA.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from ..circuits import NetlistBuilder, Netlist
+from .exact import _reduce_columns
+
+
+def _pp_columns(
+    builder: NetlistBuilder, a: Sequence[int], b: Sequence[int], keep
+) -> List[List[int]]:
+    """Column-wise partial-product matrix, filtered by ``keep(i, j)``."""
+    width = len(a)
+    columns: List[List[int]] = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            if keep(i, j):
+                columns[i + j].append(builder.and_(a[j], b[i]))
+    return columns
+
+
+def _finish_product(builder: NetlistBuilder, columns: List[List[int]], width: int, meta) -> Netlist:
+    """Reduce columns and finish a multiplier netlist with 2*width output bits."""
+    product = _reduce_columns(builder, columns)
+    while len(product) < 2 * width:
+        product.append(builder.const0())
+    return builder.finish(product[: 2 * width], meta=meta)
+
+
+def truncated_multiplier(width: int, cut: int) -> Netlist:
+    """Multiplier ignoring the ``cut`` least-significant partial-product columns."""
+    if not (0 <= cut <= 2 * width - 1):
+        raise ValueError("cut must be between 0 and 2*width-1")
+    builder = NetlistBuilder(f"mul{width}x{width}_trunc{cut}", kind="multiplier")
+    a = builder.add_input_word("a", width)
+    b = builder.add_input_word("b", width)
+    columns = _pp_columns(builder, a, b, keep=lambda i, j: i + j >= cut)
+    return _finish_product(
+        builder,
+        columns,
+        width,
+        meta={"family": "trunc_mult", "bitwidth": width, "cut": cut, "exact": cut == 0},
+    )
+
+
+def broken_array_multiplier(width: int, horizontal_break: int, vertical_break: int) -> Netlist:
+    """Broken-array multiplier: omit cells below the break lines.
+
+    A partial product ``a[j] & b[i]`` is kept only if ``i + j >= vertical_break``
+    (column break) and ``i >= horizontal_break`` does *not* force removal of
+    low rows for columns above the break, following the usual BAM definition
+    where cells with ``i < horizontal_break`` and ``i + j < width`` are
+    omitted.
+    """
+    if horizontal_break < 0 or vertical_break < 0:
+        raise ValueError("break positions must be non-negative")
+    builder = NetlistBuilder(
+        f"mul{width}x{width}_bam_h{horizontal_break}_v{vertical_break}", kind="multiplier"
+    )
+    a = builder.add_input_word("a", width)
+    b = builder.add_input_word("b", width)
+
+    def keep(i: int, j: int) -> bool:
+        if i + j < vertical_break:
+            return False
+        if i < horizontal_break and i + j < width:
+            return False
+        return True
+
+    columns = _pp_columns(builder, a, b, keep=keep)
+    exact = horizontal_break == 0 and vertical_break == 0
+    return _finish_product(
+        builder,
+        columns,
+        width,
+        meta={
+            "family": "broken_array",
+            "bitwidth": width,
+            "horizontal_break": horizontal_break,
+            "vertical_break": vertical_break,
+            "exact": exact,
+        },
+    )
+
+
+def or_partial_product_multiplier(width: int, cut: int) -> Netlist:
+    """Multiplier whose ``cut`` low columns compute with OR partial products.
+
+    The low columns keep only one (OR-combined) bit per column, removing the
+    reduction logic there entirely; the high columns are exact.
+    """
+    if not (0 <= cut <= 2 * width - 1):
+        raise ValueError("cut must be between 0 and 2*width-1")
+    builder = NetlistBuilder(f"mul{width}x{width}_orpp{cut}", kind="multiplier")
+    a = builder.add_input_word("a", width)
+    b = builder.add_input_word("b", width)
+    columns: List[List[int]] = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            column = i + j
+            bit = builder.and_(a[j], b[i])
+            if column < cut and columns[column]:
+                columns[column] = [builder.or_(columns[column][0], bit)]
+            else:
+                columns[column].append(bit)
+    return _finish_product(
+        builder,
+        columns,
+        width,
+        meta={"family": "or_pp", "bitwidth": width, "cut": cut, "exact": cut == 0},
+    )
+
+
+def approximate_cell_multiplier(width: int, cut: int, variant: int) -> Netlist:
+    """Array multiplier whose reduction uses approximate full adders in low columns.
+
+    Columns with index below ``cut`` are reduced with the approximate
+    full-adder ``variant``; remaining columns use exact cells.
+    """
+    if not (0 <= cut <= 2 * width - 1):
+        raise ValueError("cut must be between 0 and 2*width-1")
+    builder = NetlistBuilder(f"mul{width}x{width}_acell{variant}_c{cut}", kind="multiplier")
+    a = builder.add_input_word("a", width)
+    b = builder.add_input_word("b", width)
+    columns = _pp_columns(builder, a, b, keep=lambda i, j: True)
+
+    # Column reduction with per-column cell selection.
+    columns = [list(column) for column in columns]
+    while any(len(column) > 2 for column in columns):
+        next_columns: List[List[int]] = [[] for _ in range(len(columns) + 1)]
+        for index, column in enumerate(columns):
+            remaining = list(column)
+            approximate = index < cut
+            while len(remaining) >= 3:
+                x, y, z = remaining.pop(), remaining.pop(), remaining.pop()
+                if approximate:
+                    total, carry = builder.approx_full_adder(x, y, z, variant)
+                else:
+                    total, carry = builder.full_adder(x, y, z)
+                next_columns[index].append(total)
+                next_columns[index + 1].append(carry)
+            if len(remaining) == 2 and len(column) > 2:
+                x, y = remaining.pop(), remaining.pop()
+                total, carry = builder.half_adder(x, y)
+                next_columns[index].append(total)
+                next_columns[index + 1].append(carry)
+            next_columns[index].extend(remaining)
+        while next_columns and not next_columns[-1]:
+            next_columns.pop()
+        columns = next_columns
+
+    product: List[int] = []
+    carry = builder.const0()
+    for index, column in enumerate(columns):
+        if not column:
+            product.append(builder.const0())
+            continue
+        if len(column) == 1:
+            total, carry = builder.half_adder(column[0], carry)
+        elif index < cut:
+            total, carry = builder.approx_full_adder(column[0], column[1], carry, variant)
+        else:
+            total, carry = builder.full_adder(column[0], column[1], carry)
+        product.append(total)
+    product.append(carry)
+    while len(product) < 2 * width:
+        product.append(builder.const0())
+    return builder.finish(
+        product[: 2 * width],
+        meta={
+            "family": "approx_cell",
+            "bitwidth": width,
+            "cut": cut,
+            "variant": variant,
+            "exact": cut == 0,
+        },
+    )
+
+
+def _mult2x2_exact(builder: NetlistBuilder, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Exact 2x2 multiplier block, 4 output bits."""
+    p0 = builder.and_(a[0], b[0])
+    p1a = builder.and_(a[1], b[0])
+    p1b = builder.and_(a[0], b[1])
+    p2 = builder.and_(a[1], b[1])
+    s1, c1 = builder.half_adder(p1a, p1b)
+    s2, c2 = builder.half_adder(p2, c1)
+    return [p0, s1, s2, c2]
+
+
+def _mult2x2_approx(builder: NetlistBuilder, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Kulkarni inaccurate 2x2 multiplier: 3 output bits, 3*3 evaluates to 7."""
+    p0 = builder.and_(a[0], b[0])
+    p1 = builder.or_(builder.and_(a[1], b[0]), builder.and_(a[0], b[1]))
+    p2 = builder.and_(a[1], b[1])
+    return [p0, p1, p2, builder.const0()]
+
+
+def recursive_multiplier(width: int, approx_level: int) -> Netlist:
+    """Kulkarni-style recursive multiplier.
+
+    The operands are recursively split down to 2x2 base blocks.  A base block
+    that only contributes to product bits below ``2 * approx_level`` uses the
+    inaccurate 2x2 multiplier (3*3 = 7); the remaining blocks are exact.
+    ``approx_level = 0`` is fully exact, ``approx_level = width`` makes every
+    base block approximate.  Requires ``width`` to be a power of two >= 4.
+    """
+    if width < 4 or width & (width - 1):
+        raise ValueError("recursive multiplier requires a power-of-two width >= 4")
+    if approx_level < 0:
+        raise ValueError("approx_level must be non-negative")
+    builder = NetlistBuilder(f"mul{width}x{width}_rec_l{approx_level}", kind="multiplier")
+    a = builder.add_input_word("a", width)
+    b = builder.add_input_word("b", width)
+    shift_cut = 2 * approx_level
+    product = _recursive_with_cut(builder, a, b, shift_cut, shift=0)
+    while len(product) < 2 * width:
+        product.append(builder.const0())
+    return builder.finish(
+        product[: 2 * width],
+        meta={
+            "family": "recursive",
+            "bitwidth": width,
+            "approx_level": approx_level,
+            "exact": approx_level == 0,
+        },
+    )
+
+
+def _recursive_with_cut(
+    builder: NetlistBuilder,
+    a: Sequence[int],
+    b: Sequence[int],
+    shift_cut: int,
+    shift: int,
+) -> List[int]:
+    """Recursive product; 2x2 base blocks whose weight is below the cut are approximate.
+
+    ``shift`` is the bit position at which this sub-product is added into the
+    full product; a 2x2 block is approximated when ``shift < shift_cut``.
+    """
+    width = len(a)
+    if width == 2:
+        if shift < shift_cut:
+            return _mult2x2_approx(builder, a, b)
+        return _mult2x2_exact(builder, a, b)
+    half = width // 2
+    a_low, a_high = list(a[:half]), list(a[half:])
+    b_low, b_high = list(b[:half]), list(b[half:])
+    ll = _recursive_with_cut(builder, a_low, b_low, shift_cut, shift)
+    lh = _recursive_with_cut(builder, a_low, b_high, shift_cut, shift + half)
+    hl = _recursive_with_cut(builder, a_high, b_low, shift_cut, shift + half)
+    hh = _recursive_with_cut(builder, a_high, b_high, shift_cut, shift + 2 * half)
+
+    columns: List[List[int]] = [[] for _ in range(2 * width)]
+    for position, bit in enumerate(ll):
+        columns[position].append(bit)
+    for position, bit in enumerate(lh):
+        columns[position + half].append(bit)
+    for position, bit in enumerate(hl):
+        columns[position + half].append(bit)
+    for position, bit in enumerate(hh):
+        columns[position + 2 * half].append(bit)
+    product = _reduce_columns(builder, columns)
+    while len(product) < 2 * width:
+        product.append(builder.const0())
+    return product[: 2 * width]

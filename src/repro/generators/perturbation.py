@@ -1,0 +1,165 @@
+"""Seeded functional perturbation of exact netlists.
+
+EvoApproxLib was produced by Cartesian Genetic Programming: starting from
+exact circuits, gate-level mutations are applied and circuits are kept that
+trade error for cost.  This module provides the mutation operator of that
+process.  Combined with the parametric families it yields libraries whose
+size is limited only by how many seeds are drawn, with the same qualitative
+spread of error/cost trade-offs (including circuits that are poor on every
+axis, which the Pareto machinery must be able to reject).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..circuits import Gate, GateType, Netlist
+from ..circuits.gates import ONE_INPUT_GATES, TWO_INPUT_GATES
+
+
+@dataclass(frozen=True)
+class PerturbationConfig:
+    """Controls the mutation operator.
+
+    Attributes
+    ----------
+    num_mutations:
+        How many gate-level mutations to apply.
+    allow_output_mutation:
+        Whether output bits may be redirected to constants or other nodes.
+    locality:
+        When rewiring an operand, the replacement node is drawn from a window
+        of this many node ids around the original operand; keeps mutated
+        circuits structurally similar to arithmetic circuits instead of
+        random logic.
+    """
+
+    num_mutations: int = 4
+    allow_output_mutation: bool = True
+    locality: int = 24
+
+
+_MUTATION_KINDS = ("retype", "rewire", "constant", "output")
+
+
+def perturb_netlist(
+    netlist: Netlist,
+    seed: int,
+    config: Optional[PerturbationConfig] = None,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Return a functionally perturbed copy of ``netlist``.
+
+    The result has the same interface (input words, output width) and is
+    always a valid netlist; its function generally differs from the original.
+    """
+    config = config or PerturbationConfig()
+    rng = np.random.default_rng(seed)
+    gates: List[Gate] = list(netlist.gates)
+    output_bits = list(netlist.output_bits)
+    num_inputs = netlist.num_inputs
+
+    applied = 0
+    attempts = 0
+    while applied < config.num_mutations and attempts < 20 * config.num_mutations:
+        attempts += 1
+        kind = _MUTATION_KINDS[rng.integers(0, len(_MUTATION_KINDS))]
+        if kind == "output" and not config.allow_output_mutation:
+            continue
+        if kind == "output":
+            position = int(rng.integers(0, len(output_bits)))
+            # Redirect an output bit to a nearby node or a primary input.
+            current = output_bits[position]
+            low = max(0, current - config.locality)
+            high = min(num_inputs + len(gates), current + config.locality + 1)
+            output_bits[position] = int(rng.integers(low, high))
+            applied += 1
+            continue
+
+        if not gates:
+            continue
+        index = int(rng.integers(0, len(gates)))
+        gate = gates[index]
+        node_id = num_inputs + index
+
+        if kind == "retype":
+            if gate.arity == 2:
+                choices = [g for g in TWO_INPUT_GATES if g != gate.gate_type]
+            elif gate.arity == 1:
+                choices = [g for g in ONE_INPUT_GATES if g != gate.gate_type]
+            else:
+                continue
+            new_type = choices[int(rng.integers(0, len(choices)))]
+            gates[index] = Gate(new_type, gate.a, gate.b)
+            applied += 1
+        elif kind == "rewire":
+            if gate.arity == 0:
+                continue
+            operand_slot = int(rng.integers(0, gate.arity))
+            original = gate.a if operand_slot == 0 else gate.b
+            low = max(0, original - config.locality)
+            high = min(node_id, original + config.locality + 1)
+            if high <= low:
+                continue
+            replacement = int(rng.integers(low, high))
+            if operand_slot == 0:
+                gates[index] = Gate(gate.gate_type, replacement, gate.b)
+            else:
+                gates[index] = Gate(gate.gate_type, gate.a, replacement)
+            applied += 1
+        elif kind == "constant":
+            constant = GateType.CONST0 if rng.random() < 0.5 else GateType.CONST1
+            gates[index] = Gate(constant)
+            applied += 1
+
+    mutated = Netlist(
+        name=name or f"{netlist.name}_p{seed}",
+        kind=netlist.kind,
+        input_words={k: tuple(v) for k, v in netlist.input_words.items()},
+        output_bits=tuple(output_bits),
+        gates=gates,
+        meta={
+            **dict(netlist.meta),
+            "family": f"{netlist.meta.get('family', 'unknown')}_perturbed",
+            "exact": False,
+            "perturbation_seed": seed,
+            "perturbation_mutations": config.num_mutations,
+        },
+    )
+    mutated.validate()
+    return mutated
+
+
+def perturbation_sweep(
+    netlist: Netlist,
+    count: int,
+    seed: int,
+    min_mutations: int = 1,
+    max_mutations: int = 12,
+    locality: int = 24,
+) -> List[Netlist]:
+    """Generate ``count`` perturbed variants with varying mutation strength.
+
+    The mutation strength cycles over ``[min_mutations, max_mutations]`` so the
+    resulting set spans near-exact to heavily approximate circuits.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    variants: List[Netlist] = []
+    rng = np.random.default_rng(seed)
+    for index in range(count):
+        strength = min_mutations + index % (max_mutations - min_mutations + 1)
+        variant_seed = int(rng.integers(0, 2**31 - 1))
+        config = PerturbationConfig(num_mutations=strength, locality=locality)
+        variants.append(
+            perturb_netlist(
+                netlist,
+                seed=variant_seed,
+                config=config,
+                name=f"{netlist.name}_p{index:04d}",
+            )
+        )
+    return variants

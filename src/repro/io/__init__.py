@@ -1,0 +1,19 @@
+"""Persistence and export helpers."""
+
+from .persistence import (
+    export_library,
+    export_pareto_rtl,
+    library_catalog,
+    load_result_summary,
+    result_to_dict,
+    save_result,
+)
+
+__all__ = [
+    "export_library",
+    "export_pareto_rtl",
+    "library_catalog",
+    "load_result_summary",
+    "result_to_dict",
+    "save_result",
+]

@@ -1,0 +1,143 @@
+"""Persistence helpers: export libraries and flow results to disk.
+
+The released ApproxFPGAs artefact is a directory of Pareto-optimal FPGA-AC
+RTL files plus a catalogue of their measured costs; this module produces the
+same kind of artefact from a :class:`~repro.core.results.ApproxFpgasResult`
+and can archive/restore the flow's summary data as JSON so downstream
+tooling (or a later session) does not have to re-run synthesis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..circuits import to_verilog
+from ..core.results import ApproxFpgasResult
+from ..generators import CircuitLibrary
+
+PathLike = Union[str, Path]
+
+
+def library_catalog(library: CircuitLibrary) -> Dict[str, object]:
+    """JSON-serialisable catalogue of a circuit library (no netlist contents)."""
+    return {
+        "name": library.name,
+        "kind": library.kind,
+        "bitwidth": library.bitwidth,
+        "size": len(library),
+        "families": library.families(),
+        "circuits": [
+            {
+                "name": circuit.name,
+                "family": circuit.meta.get("family"),
+                "exact": bool(circuit.meta.get("exact", False)),
+                "gates": circuit.num_gates,
+                "live_gates": circuit.live_gate_count(),
+                "depth": circuit.depth(),
+            }
+            for circuit in library
+        ],
+    }
+
+
+def export_library(library: CircuitLibrary, directory: PathLike, rtl: bool = True) -> Path:
+    """Write a library catalogue (and optionally per-circuit Verilog) to ``directory``.
+
+    Returns the path of the written ``catalog.json``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    catalog_path = directory / "catalog.json"
+    catalog_path.write_text(json.dumps(library_catalog(library), indent=2), encoding="utf-8")
+    if rtl:
+        rtl_dir = directory / "rtl"
+        rtl_dir.mkdir(exist_ok=True)
+        for circuit in library:
+            (rtl_dir / f"{circuit.name}.v").write_text(to_verilog(circuit), encoding="utf-8")
+    return catalog_path
+
+
+def result_to_dict(result: ApproxFpgasResult) -> Dict[str, object]:
+    """Full JSON-serialisable dump of an ApproxFPGAs flow result."""
+    records = {}
+    for name, record in result.records.items():
+        entry: Dict[str, object] = {
+            "error": record.error.metrics.as_dict(),
+            "error_method": record.error.method,
+            "asic": record.asic.as_dict(),
+            "estimated": dict(record.estimated),
+        }
+        if record.fpga is not None:
+            entry["fpga"] = record.fpga.as_dict()
+        records[name] = entry
+
+    return {
+        "library": result.library_name,
+        "kind": result.kind,
+        "bitwidth": result.bitwidth,
+        "training_names": list(result.training_names),
+        "validation_names": list(result.validation_names),
+        "exploration_cost": result.exploration_cost.as_dict(),
+        "fidelity": result.fidelity_table(),
+        "model_evaluations": [
+            {
+                "model_id": evaluation.model_id,
+                "parameter": evaluation.parameter,
+                "fidelity": evaluation.fidelity,
+                "pearson": evaluation.pearson,
+                "r2": evaluation.r2,
+                "train_time_s": evaluation.train_time_s,
+            }
+            for evaluation in result.model_evaluations
+        ],
+        "parameters": {
+            parameter: {
+                "top_models": list(outcome.top_models),
+                "candidates": list(outcome.candidate_names),
+                "final_front": list(outcome.final_front_names),
+                "true_front": list(outcome.true_front_names),
+                "coverage": outcome.coverage,
+            }
+            for parameter, outcome in result.parameter_outcomes.items()
+        },
+        "records": records,
+    }
+
+
+def save_result(result: ApproxFpgasResult, path: PathLike) -> Path:
+    """Serialise a flow result to a JSON file and return its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=2), encoding="utf-8")
+    return path
+
+
+def load_result_summary(path: PathLike) -> Dict[str, object]:
+    """Load a previously saved flow-result JSON (as plain dictionaries)."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def export_pareto_rtl(
+    result: ApproxFpgasResult,
+    library: CircuitLibrary,
+    directory: PathLike,
+    parameter: str = "area",
+    limit: Optional[int] = None,
+) -> List[Path]:
+    """Export the RTL of the final Pareto-optimal FPGA-ACs for one parameter.
+
+    This mirrors the open-source FPGA-AC release of the paper: one Verilog
+    file per Pareto-optimal circuit, named after the circuit.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    outcome = result.parameter_outcomes[parameter]
+    names = outcome.final_front_names[:limit] if limit else outcome.final_front_names
+    written: List[Path] = []
+    for name in names:
+        path = directory / f"{name}.v"
+        path.write_text(to_verilog(library.get(name)), encoding="utf-8")
+        written.append(path)
+    return written

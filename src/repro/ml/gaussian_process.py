@@ -1,0 +1,85 @@
+"""Gaussian process regression (ML8) with an RBF kernel and white noise."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy import linalg
+
+from .base import Regressor
+from .kernel import rbf_kernel
+
+
+class GaussianProcessRegressor(Regressor):
+    """GP regression with a fixed-form RBF kernel and a small length-scale search.
+
+    The posterior mean/variance follow the standard cholesky formulation
+    (Rasmussen & Williams, Alg. 2.1).  Rather than full marginal-likelihood
+    optimisation, the length scale is selected from a small grid by the log
+    marginal likelihood -- enough to adapt to the feature scales used here
+    while keeping the model cheap, in line with the paper's "light-weight
+    models" framing.
+    """
+
+    def __init__(
+        self,
+        noise: float = 1e-2,
+        length_scales: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+        signal_variance: float = 1.0,
+    ):
+        super().__init__()
+        if noise <= 0:
+            raise ValueError("noise must be positive")
+        self.noise = noise
+        self.length_scales = tuple(length_scales)
+        self.signal_variance = signal_variance
+
+    def _kernel(self, A: np.ndarray, B: np.ndarray, length_scale: float) -> np.ndarray:
+        gamma = 1.0 / (2.0 * length_scale ** 2)
+        return self.signal_variance * rbf_kernel(A, B, gamma=gamma)
+
+    def _log_marginal_likelihood(self, X: np.ndarray, y: np.ndarray, length_scale: float) -> float:
+        K = self._kernel(X, X, length_scale) + self.noise * np.eye(X.shape[0])
+        try:
+            chol = linalg.cholesky(K, lower=True)
+        except linalg.LinAlgError:
+            return -np.inf
+        alpha = linalg.cho_solve((chol, True), y)
+        return float(
+            -0.5 * y @ alpha - np.sum(np.log(np.diag(chol))) - 0.5 * len(y) * np.log(2 * np.pi)
+        )
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._y_mean = float(y.mean())
+        centered = y - self._y_mean
+
+        best_scale = self.length_scales[0]
+        best_lml = -np.inf
+        for scale in self.length_scales:
+            lml = self._log_marginal_likelihood(X, centered, scale)
+            if lml > best_lml:
+                best_lml = lml
+                best_scale = scale
+        self.length_scale_ = best_scale
+
+        K = self._kernel(X, X, best_scale) + self.noise * np.eye(X.shape[0])
+        self._chol = linalg.cholesky(K, lower=True)
+        self._alpha = linalg.cho_solve((self._chol, True), centered)
+        self._X_train = X.copy()
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        K_star = self._kernel(X, self._X_train, self.length_scale_)
+        return K_star @ self._alpha + self._y_mean
+
+    def predict_with_std(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation."""
+        mean = self.predict(X)
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        K_star = self._kernel(X, self._X_train, self.length_scale_)
+        v = linalg.solve_triangular(self._chol, K_star.T, lower=True)
+        prior_var = self.signal_variance + self.noise
+        variance = np.maximum(prior_var - np.sum(v ** 2, axis=0), 1e-12)
+        return mean, np.sqrt(variance)

@@ -1,0 +1,78 @@
+"""Kernel methods: kernel functions and Kernel Ridge Regression (ML10)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Regressor
+
+
+def linear_kernel(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    return A @ B.T
+
+
+def polynomial_kernel(A: np.ndarray, B: np.ndarray, degree: int = 3, coef0: float = 1.0) -> np.ndarray:
+    return (A @ B.T + coef0) ** degree
+
+
+def rbf_kernel(A: np.ndarray, B: np.ndarray, gamma: float = 1.0) -> np.ndarray:
+    """Gaussian radial-basis-function kernel exp(-gamma * ||a - b||^2)."""
+    a_sq = np.sum(A ** 2, axis=1)[:, None]
+    b_sq = np.sum(B ** 2, axis=1)[None, :]
+    distances = np.maximum(a_sq + b_sq - 2.0 * (A @ B.T), 0.0)
+    return np.exp(-gamma * distances)
+
+
+def make_kernel(kind: str, gamma: float = 1.0, degree: int = 3, coef0: float = 1.0):
+    """Kernel factory used by KernelRidge and the Gaussian process."""
+    if kind == "linear":
+        return lambda A, B: linear_kernel(A, B)
+    if kind == "poly":
+        return lambda A, B: polynomial_kernel(A, B, degree=degree, coef0=coef0)
+    if kind == "rbf":
+        return lambda A, B: rbf_kernel(A, B, gamma=gamma)
+    raise ValueError(f"unknown kernel {kind!r}")
+
+
+class KernelRidge(Regressor):
+    """Kernel ridge regression: ridge regression in the RKHS of a kernel.
+
+    Solves ``(K + alpha I) dual = y`` and predicts with ``k(x, X_train) @ dual``.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        kernel: str = "rbf",
+        gamma: float | None = None,
+        degree: int = 3,
+        coef0: float = 1.0,
+    ):
+        super().__init__()
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        self.kernel = kernel
+        self.gamma = gamma
+        self.degree = degree
+        self.coef0 = coef0
+
+    def _effective_gamma(self, n_features: int) -> float:
+        return self.gamma if self.gamma is not None else 1.0 / max(n_features, 1)
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._kernel_fn = make_kernel(
+            self.kernel,
+            gamma=self._effective_gamma(X.shape[1]),
+            degree=self.degree,
+            coef0=self.coef0,
+        )
+        self._X_train = X.copy()
+        self._y_mean = float(y.mean())
+        K = self._kernel_fn(X, X)
+        K = K + self.alpha * np.eye(X.shape[0])
+        self.dual_coef_ = np.linalg.solve(K, y - self._y_mean)
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        K = self._kernel_fn(X, self._X_train)
+        return K @ self.dual_coef_ + self._y_mean

@@ -1,0 +1,74 @@
+"""Regression quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same length")
+    if y_true.size == 0:
+        raise ValueError("cannot compute a metric on empty vectors")
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mean_absolute_percentage_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _pair(y_true, y_pred)
+    denominator = np.maximum(np.abs(y_true), 1e-12)
+    return float(np.mean(np.abs(y_true - y_pred) / denominator))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination; 0 for a constant predictor on constant data."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    residual = float(np.sum((y_true - y_pred) ** 2))
+    total = float(np.sum((y_true - y_true.mean()) ** 2))
+    if total == 0.0:
+        return 0.0 if residual > 0 else 1.0
+    return 1.0 - residual / total
+
+
+def pearson_correlation(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Pearson correlation coefficient (0 when either vector is constant)."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    std_true = y_true.std()
+    std_pred = y_pred.std()
+    if std_true == 0.0 or std_pred == 0.0:
+        return 0.0
+    return float(np.corrcoef(y_true, y_pred)[0, 1])
+
+
+def spearman_correlation(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Spearman rank correlation (Pearson correlation of the ranks)."""
+    y_true, y_pred = _pair(y_true, y_pred)
+
+    def ranks(values: np.ndarray) -> np.ndarray:
+        order = np.argsort(values, kind="mergesort")
+        rank = np.empty_like(order, dtype=np.float64)
+        rank[order] = np.arange(len(values), dtype=np.float64)
+        # average ties
+        unique, inverse, counts = np.unique(values, return_inverse=True, return_counts=True)
+        if len(unique) != len(values):
+            sums = np.zeros(len(unique))
+            np.add.at(sums, inverse, rank)
+            rank = (sums / counts)[inverse]
+        return rank
+
+    return pearson_correlation(ranks(y_true), ranks(y_pred))

@@ -1,0 +1,109 @@
+"""Multi-layer perceptron regressor (ML17) trained with Adam."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .base import Regressor
+
+
+class MLPRegressor(Regressor):
+    """Fully-connected feed-forward network with ReLU hidden layers.
+
+    Weights are trained with mini-batch Adam on the squared loss.  Inputs and
+    targets are expected to be roughly standardised (the model zoo wraps the
+    MLP in a :class:`~repro.ml.preprocessing.ScaledRegressor` with target
+    scaling enabled).
+    """
+
+    def __init__(
+        self,
+        hidden_layer_sizes: Tuple[int, ...] = (32, 16),
+        learning_rate: float = 0.01,
+        max_iter: int = 300,
+        batch_size: int = 16,
+        alpha: float = 1e-4,
+        random_state: int = 0,
+    ):
+        super().__init__()
+        if not hidden_layer_sizes:
+            raise ValueError("at least one hidden layer is required")
+        self.hidden_layer_sizes = tuple(int(size) for size in hidden_layer_sizes)
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.batch_size = batch_size
+        self.alpha = alpha
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------ #
+    def _initialise(self, n_features: int, rng: np.random.Generator) -> None:
+        sizes = [n_features, *self.hidden_layer_sizes, 1]
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self._weights.append(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Return (pre-activations, activations); activations[0] is the input."""
+        activations = [X]
+        pre_activations = []
+        current = X
+        last = len(self._weights) - 1
+        for index, (weight, bias) in enumerate(zip(self._weights, self._biases)):
+            z = current @ weight + bias
+            pre_activations.append(z)
+            current = z if index == last else np.maximum(z, 0.0)
+            activations.append(current)
+        return pre_activations, activations
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.random_state)
+        n_samples, n_features = X.shape
+        self._initialise(n_features, rng)
+        y = y.reshape(-1, 1)
+
+        # Adam state.
+        m_w = [np.zeros_like(w) for w in self._weights]
+        v_w = [np.zeros_like(w) for w in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        for _ in range(self.max_iter):
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, self.batch_size):
+                batch = order[start:start + self.batch_size]
+                xb, yb = X[batch], y[batch]
+                pre_activations, activations = self._forward(xb)
+
+                # Backward pass.
+                delta = (activations[-1] - yb) / len(batch)
+                grads_w = [np.zeros_like(w) for w in self._weights]
+                grads_b = [np.zeros_like(b) for b in self._biases]
+                for layer in reversed(range(len(self._weights))):
+                    grads_w[layer] = activations[layer].T @ delta + self.alpha * self._weights[layer]
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self._weights[layer].T) * (pre_activations[layer - 1] > 0)
+
+                step += 1
+                for layer in range(len(self._weights)):
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grads_w[layer]
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * grads_w[layer] ** 2
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grads_b[layer]
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * grads_b[layer] ** 2
+                    m_w_hat = m_w[layer] / (1 - beta1 ** step)
+                    v_w_hat = v_w[layer] / (1 - beta2 ** step)
+                    m_b_hat = m_b[layer] / (1 - beta1 ** step)
+                    v_b_hat = v_b[layer] / (1 - beta2 ** step)
+                    self._weights[layer] -= self.learning_rate * m_w_hat / (np.sqrt(v_w_hat) + eps)
+                    self._biases[layer] -= self.learning_rate * m_b_hat / (np.sqrt(v_b_hat) + eps)
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        _, activations = self._forward(X)
+        return activations[-1].ravel()

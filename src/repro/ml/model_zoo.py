@@ -1,0 +1,142 @@
+"""The Table I model zoo: ML1 - ML18.
+
+Each entry constructs a fresh, unfitted regressor.  The three "regression
+w.r.t. ASIC-AC <parameter>" entries (ML1-ML3) are ordinary least squares fits
+restricted to the corresponding single ASIC feature column, exactly as the
+paper uses the ASIC reports as standalone predictors of the FPGA cost.
+Models that are sensitive to feature scaling are wrapped in a
+:class:`~repro.ml.preprocessing.ScaledRegressor`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from .base import Regressor
+from .ensemble import AdaBoostRegressor, GradientBoostingRegressor, RandomForestRegressor
+from .gaussian_process import GaussianProcessRegressor
+from .kernel import KernelRidge
+from .linear import (
+    BayesianRidgeRegression,
+    LassoRegression,
+    LeastAngleRegression,
+    LinearRegression,
+    RidgeRegression,
+    SGDRegressor,
+)
+from .mlp import MLPRegressor
+from .neighbors import KNeighborsRegressor
+from .pls import PLSRegression
+from .preprocessing import FeatureSubsetRegressor, ScaledRegressor
+from .symbolic import SymbolicRegressor
+from .tree import DecisionTreeRegressor
+
+#: Model identifiers in the order of Table I of the paper.
+MODEL_IDS = tuple(f"ML{i}" for i in range(1, 19))
+
+#: Human-readable names matching Table I.
+MODEL_DESCRIPTIONS: Dict[str, str] = {
+    "ML1": "Regression w.r.t. ASIC-AC Power",
+    "ML2": "Regression w.r.t. ASIC-AC Latency",
+    "ML3": "Regression w.r.t. ASIC-AC Area",
+    "ML4": "PLS Regression",
+    "ML5": "Random Forest",
+    "ML6": "Gradient Boosting",
+    "ML7": "Adaptive Boosting (AdaBoost)",
+    "ML8": "Gaussian Process",
+    "ML9": "Symbolic Regression",
+    "ML10": "Kernel Ridge",
+    "ML11": "Bayesian Ridge",
+    "ML12": "Coordinate Descent (Lasso)",
+    "ML13": "Least Angle Regression",
+    "ML14": "Ridge Regression",
+    "ML15": "Stochastic Gradient Descent",
+    "ML16": "K-Nearest Neighbours",
+    "ML17": "Multi-Layer Perceptron (MLP)",
+    "ML18": "Decision Tree",
+}
+
+#: ASIC feature column names consumed by ML1-ML3 (defined by repro.features).
+ASIC_FEATURE_FOR_MODEL: Dict[str, str] = {
+    "ML1": "asic_power_mw",
+    "ML2": "asic_latency_ns",
+    "ML3": "asic_area_um2",
+}
+
+
+class ModelZooError(KeyError):
+    """Raised when a model id is unknown or required features are missing."""
+
+
+def _feature_index(feature_names: Sequence[str], name: str) -> int:
+    try:
+        return list(feature_names).index(name)
+    except ValueError as error:
+        raise ModelZooError(
+            f"feature {name!r} is required by an ASIC-regression model but is not "
+            f"present in the feature set {list(feature_names)}"
+        ) from error
+
+
+def build_model(model_id: str, feature_names: Sequence[str], random_state: int = 0) -> Regressor:
+    """Construct a fresh, unfitted instance of one Table I model.
+
+    Parameters
+    ----------
+    model_id:
+        One of ``"ML1"`` .. ``"ML18"``.
+    feature_names:
+        Column names of the feature matrix the model will be fitted on; used
+        by ML1-ML3 to locate their ASIC feature column.
+    random_state:
+        Seed forwarded to the stochastic models.
+    """
+    if model_id not in MODEL_DESCRIPTIONS:
+        raise ModelZooError(f"unknown model id {model_id!r}; expected one of {MODEL_IDS}")
+
+    if model_id in ASIC_FEATURE_FOR_MODEL:
+        index = _feature_index(feature_names, ASIC_FEATURE_FOR_MODEL[model_id])
+        return FeatureSubsetRegressor(LinearRegression(), [index])
+
+    factories: Dict[str, Callable[[], Regressor]] = {
+        "ML4": lambda: PLSRegression(n_components=4),
+        "ML5": lambda: RandomForestRegressor(n_estimators=60, max_depth=10, random_state=random_state),
+        "ML6": lambda: GradientBoostingRegressor(
+            n_estimators=120, learning_rate=0.08, max_depth=3, random_state=random_state
+        ),
+        "ML7": lambda: AdaBoostRegressor(n_estimators=50, max_depth=4, random_state=random_state),
+        "ML8": lambda: ScaledRegressor(
+            GaussianProcessRegressor(noise=1e-2), scale_target=True
+        ),
+        "ML9": lambda: SymbolicRegressor(
+            population_size=60, generations=20, random_state=random_state
+        ),
+        "ML10": lambda: ScaledRegressor(KernelRidge(alpha=0.1, kernel="rbf"), scale_target=True),
+        "ML11": lambda: ScaledRegressor(BayesianRidgeRegression(), scale_target=False),
+        "ML12": lambda: ScaledRegressor(LassoRegression(alpha=0.01), scale_target=False),
+        "ML13": lambda: LeastAngleRegression(),
+        "ML14": lambda: ScaledRegressor(RidgeRegression(alpha=1.0), scale_target=False),
+        "ML15": lambda: ScaledRegressor(
+            SGDRegressor(random_state=random_state), scale_target=True
+        ),
+        "ML16": lambda: ScaledRegressor(KNeighborsRegressor(n_neighbors=5), scale_target=False),
+        "ML17": lambda: ScaledRegressor(
+            MLPRegressor(hidden_layer_sizes=(32, 16), max_iter=200, random_state=random_state),
+            scale_target=True,
+        ),
+        "ML18": lambda: DecisionTreeRegressor(max_depth=8, random_state=random_state),
+    }
+    return factories[model_id]()
+
+
+def build_model_zoo(
+    feature_names: Sequence[str],
+    include: Optional[Iterable[str]] = None,
+    random_state: int = 0,
+) -> Dict[str, Regressor]:
+    """Construct every requested Table I model (all 18 by default)."""
+    ids: List[str] = list(include) if include is not None else list(MODEL_IDS)
+    for model_id in ids:
+        if model_id not in MODEL_DESCRIPTIONS:
+            raise ModelZooError(f"unknown model id {model_id!r}")
+    return {model_id: build_model(model_id, feature_names, random_state) for model_id in ids}

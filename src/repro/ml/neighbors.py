@@ -1,0 +1,48 @@
+"""K-nearest-neighbours regression (ML16)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Regressor
+
+
+class KNeighborsRegressor(Regressor):
+    """KNN regression with uniform or inverse-distance weighting."""
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "distance"):
+        super().__init__()
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be at least 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._X_train = X.copy()
+        self._y_train = y.copy()
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        k = min(self.n_neighbors, self._X_train.shape[0])
+        # Pairwise squared distances, computed blockwise for memory safety.
+        predictions = np.empty(X.shape[0])
+        train_sq = np.sum(self._X_train ** 2, axis=1)
+        for start in range(0, X.shape[0], 1024):
+            block = X[start:start + 1024]
+            distances = (
+                np.sum(block ** 2, axis=1)[:, None]
+                + train_sq[None, :]
+                - 2.0 * block @ self._X_train.T
+            )
+            distances = np.maximum(distances, 0.0)
+            neighbor_idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            neighbor_dist = np.take_along_axis(distances, neighbor_idx, axis=1)
+            neighbor_y = self._y_train[neighbor_idx]
+            if self.weights == "uniform":
+                block_pred = neighbor_y.mean(axis=1)
+            else:
+                weights = 1.0 / (np.sqrt(neighbor_dist) + 1e-9)
+                block_pred = np.sum(weights * neighbor_y, axis=1) / np.sum(weights, axis=1)
+            predictions[start:start + 1024] = block_pred
+        return predictions

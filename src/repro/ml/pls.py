@@ -1,0 +1,78 @@
+"""Partial Least Squares regression (ML4) via the NIPALS algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Regressor
+
+
+class PLSRegression(Regressor):
+    """PLS1 regression (single response) with ``n_components`` latent vectors.
+
+    Classic NIPALS deflation: each component maximises the covariance between
+    the projected features and the residual target; features and target are
+    internally standardised.
+    """
+
+    def __init__(self, n_components: int = 4, max_iter: int = 200, tol: float = 1e-8):
+        super().__init__()
+        if n_components < 1:
+            raise ValueError("n_components must be at least 1")
+        self.n_components = n_components
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._x_mean = X.mean(axis=0)
+        x_scale = X.std(axis=0)
+        x_scale[x_scale == 0.0] = 1.0
+        self._x_scale = x_scale
+        self._y_mean = float(y.mean())
+        y_scale = float(y.std()) or 1.0
+        self._y_scale = y_scale
+
+        E = (X - self._x_mean) / self._x_scale
+        f = (y - self._y_mean) / self._y_scale
+
+        n_samples, n_features = E.shape
+        components = min(self.n_components, n_features, max(1, n_samples - 1))
+
+        weights = np.zeros((n_features, components))
+        loadings = np.zeros((n_features, components))
+        scores_reg = np.zeros(components)
+
+        for component in range(components):
+            w = E.T @ f
+            norm = np.linalg.norm(w)
+            if norm < self.tol:
+                components = component
+                break
+            w /= norm
+            t = E @ w
+            tt = float(t @ t)
+            if tt < self.tol:
+                components = component
+                break
+            p = E.T @ t / tt
+            q = float(f @ t / tt)
+            E = E - np.outer(t, p)
+            f = f - q * t
+            weights[:, component] = w
+            loadings[:, component] = p
+            scores_reg[component] = q
+
+        weights = weights[:, :components]
+        loadings = loadings[:, :components]
+        scores_reg = scores_reg[:components]
+        if components == 0:
+            self.coef_ = np.zeros(n_features)
+        else:
+            # Rotation matrix mapping X (scaled) directly to scores.
+            rotation = weights @ np.linalg.pinv(loadings.T @ weights)
+            self.coef_ = rotation @ scores_reg
+        self.n_components_ = components
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        X_scaled = (X - self._x_mean) / self._x_scale
+        return (X_scaled @ self.coef_) * self._y_scale + self._y_mean

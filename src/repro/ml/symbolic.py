@@ -1,0 +1,205 @@
+"""Symbolic regression (ML9) by small-scale genetic programming.
+
+Expressions are trees over ``{+, -, *, protected /}`` with feature and
+constant leaves.  The population is evolved with tournament selection,
+subtree crossover and point mutation against an RMSE fitness with a mild
+parsimony pressure.  The defaults are deliberately small -- the paper uses
+symbolic regression as one of its "light-weight" models, not as a heavy DSE
+engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import Regressor
+
+
+@dataclass
+class _Expr:
+    """Expression-tree node: an operator, a feature leaf or a constant leaf."""
+
+    op: str
+    feature: int = -1
+    constant: float = 0.0
+    left: Optional["_Expr"] = None
+    right: Optional["_Expr"] = None
+
+    def size(self) -> int:
+        if self.op in ("feature", "const"):
+            return 1
+        return 1 + self.left.size() + self.right.size()
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        if self.op == "feature":
+            return X[:, self.feature]
+        if self.op == "const":
+            return np.full(X.shape[0], self.constant)
+        left = self.left.evaluate(X)
+        right = self.right.evaluate(X)
+        if self.op == "add":
+            return left + right
+        if self.op == "sub":
+            return left - right
+        if self.op == "mul":
+            return left * right
+        if self.op == "div":
+            return left / np.where(np.abs(right) < 1e-6, 1.0, right)
+        raise ValueError(f"unknown operator {self.op!r}")
+
+    def copy(self) -> "_Expr":
+        return _Expr(
+            op=self.op,
+            feature=self.feature,
+            constant=self.constant,
+            left=self.left.copy() if self.left else None,
+            right=self.right.copy() if self.right else None,
+        )
+
+    def nodes(self) -> list:
+        result = [self]
+        if self.left is not None:
+            result.extend(self.left.nodes())
+        if self.right is not None:
+            result.extend(self.right.nodes())
+        return result
+
+    def to_string(self, feature_names: Optional[list] = None) -> str:
+        if self.op == "feature":
+            if feature_names and self.feature < len(feature_names):
+                return feature_names[self.feature]
+            return f"x{self.feature}"
+        if self.op == "const":
+            return f"{self.constant:.3g}"
+        symbol = {"add": "+", "sub": "-", "mul": "*", "div": "/"}[self.op]
+        return f"({self.left.to_string(feature_names)} {symbol} {self.right.to_string(feature_names)})"
+
+
+_OPERATORS = ("add", "sub", "mul", "div")
+
+
+class SymbolicRegressor(Regressor):
+    """Genetic-programming symbolic regression."""
+
+    def __init__(
+        self,
+        population_size: int = 80,
+        generations: int = 25,
+        tournament_size: int = 4,
+        max_depth: int = 4,
+        parsimony: float = 1e-3,
+        random_state: int = 0,
+    ):
+        super().__init__()
+        self.population_size = population_size
+        self.generations = generations
+        self.tournament_size = tournament_size
+        self.max_depth = max_depth
+        self.parsimony = parsimony
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------ #
+    def _random_expr(self, rng: np.random.Generator, n_features: int, depth: int) -> _Expr:
+        if depth >= self.max_depth or rng.random() < 0.3:
+            if rng.random() < 0.7:
+                return _Expr(op="feature", feature=int(rng.integers(0, n_features)))
+            return _Expr(op="const", constant=float(rng.normal(0.0, 1.0)))
+        op = _OPERATORS[int(rng.integers(0, len(_OPERATORS)))]
+        return _Expr(
+            op=op,
+            left=self._random_expr(rng, n_features, depth + 1),
+            right=self._random_expr(rng, n_features, depth + 1),
+        )
+
+    def _fitness(self, expr: _Expr, X: np.ndarray, y: np.ndarray) -> float:
+        predictions = expr.evaluate(X)
+        if not np.all(np.isfinite(predictions)):
+            return np.inf
+        rmse = float(np.sqrt(np.mean((predictions - y) ** 2)))
+        return rmse + self.parsimony * expr.size()
+
+    def _tournament(self, rng, population, fitnesses) -> _Expr:
+        contenders = rng.integers(0, len(population), size=self.tournament_size)
+        best = min(contenders, key=lambda index: fitnesses[index])
+        return population[best]
+
+    def _crossover(self, rng, parent_a: _Expr, parent_b: _Expr) -> _Expr:
+        child = parent_a.copy()
+        nodes = child.nodes()
+        target = nodes[int(rng.integers(0, len(nodes)))]
+        donor_nodes = parent_b.nodes()
+        donor = donor_nodes[int(rng.integers(0, len(donor_nodes)))].copy()
+        target.op = donor.op
+        target.feature = donor.feature
+        target.constant = donor.constant
+        target.left = donor.left
+        target.right = donor.right
+        return child
+
+    def _mutate(self, rng, expr: _Expr, n_features: int) -> _Expr:
+        mutant = expr.copy()
+        nodes = mutant.nodes()
+        target = nodes[int(rng.integers(0, len(nodes)))]
+        replacement = self._random_expr(rng, n_features, depth=self.max_depth - 1)
+        target.op = replacement.op
+        target.feature = replacement.feature
+        target.constant = replacement.constant
+        target.left = replacement.left
+        target.right = replacement.right
+        return mutant
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.random_state)
+        n_features = X.shape[1]
+
+        # Standardise internally; symbolic expressions behave poorly on raw scales.
+        self._x_mean = X.mean(axis=0)
+        x_scale = X.std(axis=0)
+        x_scale[x_scale == 0.0] = 1.0
+        self._x_scale = x_scale
+        self._y_mean = float(y.mean())
+        self._y_scale = float(y.std()) or 1.0
+        Xs = (X - self._x_mean) / self._x_scale
+        ys = (y - self._y_mean) / self._y_scale
+
+        population = [
+            self._random_expr(rng, n_features, depth=0) for _ in range(self.population_size)
+        ]
+        fitnesses = [self._fitness(expr, Xs, ys) for expr in population]
+
+        for _ in range(self.generations):
+            next_population = []
+            # Elitism: keep the best individual.
+            best_index = int(np.argmin(fitnesses))
+            next_population.append(population[best_index].copy())
+            while len(next_population) < self.population_size:
+                roll = rng.random()
+                if roll < 0.6:
+                    parent_a = self._tournament(rng, population, fitnesses)
+                    parent_b = self._tournament(rng, population, fitnesses)
+                    child = self._crossover(rng, parent_a, parent_b)
+                elif roll < 0.9:
+                    parent = self._tournament(rng, population, fitnesses)
+                    child = self._mutate(rng, parent, n_features)
+                else:
+                    child = self._random_expr(rng, n_features, depth=0)
+                next_population.append(child)
+            population = next_population
+            fitnesses = [self._fitness(expr, Xs, ys) for expr in population]
+
+        best_index = int(np.argmin(fitnesses))
+        self.expression_ = population[best_index]
+        self.fitness_ = float(fitnesses[best_index])
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        Xs = (X - self._x_mean) / self._x_scale
+        predictions = self.expression_.evaluate(Xs)
+        predictions = np.where(np.isfinite(predictions), predictions, 0.0)
+        return predictions * self._y_scale + self._y_mean
+
+    def expression_string(self, feature_names: Optional[list] = None) -> str:
+        """Human-readable form of the evolved expression."""
+        return self.expression_.to_string(feature_names)

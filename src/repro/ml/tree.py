@@ -1,0 +1,140 @@
+"""CART regression trees (ML18) -- also the base learner of the ensembles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import Regressor
+
+
+@dataclass
+class _Node:
+    """One node of the regression tree."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeRegressor(Regressor):
+    """Binary regression tree grown by greedy variance reduction.
+
+    Supports depth / sample-count stopping rules and per-split random feature
+    subsampling (``max_features``), which the random forest uses for
+    decorrelation.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        max_features: Optional[float] = None,
+        random_state: int = 0,
+    ):
+        super().__init__()
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------ #
+    def _best_split(self, X: np.ndarray, y: np.ndarray, feature_indices: np.ndarray):
+        """Best (feature, threshold) by weighted-variance reduction, or None."""
+        n_samples = X.shape[0]
+        parent_score = float(np.sum((y - y.mean()) ** 2))
+        best = None
+        best_score = parent_score - 1e-12
+
+        for feature in feature_indices:
+            order = np.argsort(X[:, feature], kind="mergesort")
+            x_sorted = X[order, feature]
+            y_sorted = y[order]
+
+            # Prefix sums let every split position be scored in O(1).
+            prefix = np.cumsum(y_sorted)
+            prefix_sq = np.cumsum(y_sorted ** 2)
+            total = prefix[-1]
+            total_sq = prefix_sq[-1]
+
+            for split in range(self.min_samples_leaf, n_samples - self.min_samples_leaf + 1):
+                if split < 1 or split >= n_samples:
+                    continue
+                if x_sorted[split - 1] == x_sorted[split]:
+                    continue
+                left_sum = prefix[split - 1]
+                left_sq = prefix_sq[split - 1]
+                right_sum = total - left_sum
+                right_sq = total_sq - left_sq
+                left_score = left_sq - left_sum ** 2 / split
+                right_score = right_sq - right_sum ** 2 / (n_samples - split)
+                score = left_score + right_score
+                if score < best_score:
+                    best_score = score
+                    threshold = 0.5 * (x_sorted[split - 1] + x_sorted[split])
+                    best = (int(feature), float(threshold))
+        return best
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if (
+            depth >= self.max_depth
+            or X.shape[0] < self.min_samples_split
+            or np.all(y == y[0])
+        ):
+            return node
+
+        n_features = X.shape[1]
+        if self.max_features is None:
+            feature_indices = np.arange(n_features)
+        else:
+            count = max(1, int(round(self.max_features * n_features)))
+            feature_indices = rng.choice(n_features, size=count, replace=False)
+
+        split = self._best_split(X, y, feature_indices)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.random_state)
+        self.tree_ = self._grow(X, y, depth=0, rng=rng)
+
+    def _predict_one(self, x: np.ndarray) -> float:
+        node = self.tree_
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        return np.array([self._predict_one(row) for row in X])
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.tree_)

@@ -1,0 +1,73 @@
+"""Data-splitting and validation utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from .base import Regressor, check_X_y
+from .metrics import r2_score
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.2,
+    random_state: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into train / test partitions.
+
+    Mirrors the paper's 80/20 split of the synthesized subset into training
+    and validation sets.
+    """
+    if not (0.0 < test_size < 1.0):
+        raise ValueError("test_size must be in (0, 1)")
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y must have the same number of samples")
+    n_samples = X.shape[0]
+    n_test = max(1, int(round(test_size * n_samples)))
+    if n_test >= n_samples:
+        raise ValueError("test_size leaves no training samples")
+    rng = np.random.default_rng(random_state)
+    order = rng.permutation(n_samples)
+    test_indices = order[:n_test]
+    train_indices = order[n_test:]
+    return X[train_indices], X[test_indices], y[train_indices], y[test_indices]
+
+
+def k_fold_indices(
+    n_samples: int, n_splits: int = 5, random_state: int = 0
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_indices, test_indices) for shuffled K-fold cross validation."""
+    if n_splits < 2:
+        raise ValueError("n_splits must be at least 2")
+    if n_splits > n_samples:
+        raise ValueError("n_splits cannot exceed the number of samples")
+    rng = np.random.default_rng(random_state)
+    order = rng.permutation(n_samples)
+    folds = np.array_split(order, n_splits)
+    for index in range(n_splits):
+        test_indices = folds[index]
+        train_indices = np.concatenate([folds[j] for j in range(n_splits) if j != index])
+        yield train_indices, test_indices
+
+
+def cross_val_score(
+    model: Regressor,
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 5,
+    random_state: int = 0,
+) -> List[float]:
+    """R^2 score of a fresh clone of ``model`` on each fold."""
+    X, y = check_X_y(X, y)
+    scores: List[float] = []
+    for train_indices, test_indices in k_fold_indices(X.shape[0], n_splits, random_state):
+        fold_model = model.clone()
+        fold_model.fit(X[train_indices], y[train_indices])
+        predictions = fold_model.predict(X[test_indices])
+        scores.append(r2_score(y[test_indices], predictions))
+    return scores

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Small circuit libraries and synthesizers are session-scoped because building
+them is the dominant cost of many tests; every test treats them as
+read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.asic import AsicSynthesizer
+from repro.error import ErrorEvaluator
+from repro.fpga import FpgaSynthesizer
+from repro.generators import (
+    array_multiplier,
+    build_adder_library,
+    build_multiplier_library,
+    ripple_carry_adder,
+)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def adder8():
+    return ripple_carry_adder(8)
+
+
+@pytest.fixture(scope="session")
+def multiplier4():
+    return array_multiplier(4)
+
+
+@pytest.fixture(scope="session")
+def multiplier8():
+    return array_multiplier(8)
+
+
+@pytest.fixture(scope="session")
+def small_multiplier_library():
+    """A 4x4 multiplier library: fast enough for end-to-end flow tests."""
+    return build_multiplier_library(4, size=60, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_adder_library():
+    return build_adder_library(8, size=50, seed=5)
+
+
+@pytest.fixture(scope="session")
+def fpga_synth():
+    return FpgaSynthesizer()
+
+
+@pytest.fixture(scope="session")
+def asic_synth():
+    return AsicSynthesizer()
+
+
+@pytest.fixture(scope="session")
+def multiplier4_evaluator(small_multiplier_library):
+    return ErrorEvaluator(small_multiplier_library.reference())

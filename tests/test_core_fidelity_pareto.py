@@ -1,0 +1,193 @@
+"""Tests of the fidelity metric, Pareto machinery and exploration accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ExplorationCost,
+    ExplorationSummary,
+    dominates,
+    fidelity,
+    fidelity_strict,
+    hypervolume_2d,
+    pareto_coverage,
+    pareto_front_indices,
+    pareto_union,
+    seconds_to_days,
+    successive_pareto_fronts,
+    total_synthesis_time,
+)
+from repro.generators import array_multiplier, truncated_multiplier
+
+
+# ----------------------------- fidelity ------------------------------- #
+def test_fidelity_perfect_for_identical_ordering():
+    measured = np.array([1.0, 2.0, 3.0, 4.0])
+    assert fidelity(measured, measured * 10 + 5) == 1.0
+
+
+def test_fidelity_low_for_reversed_ordering():
+    measured = np.array([1.0, 2.0, 3.0, 4.0])
+    estimated = measured[::-1]
+    # Only the diagonal matches.
+    assert fidelity(measured, estimated) == pytest.approx(4 / 16)
+
+
+def test_fidelity_counts_partial_order_preservation():
+    measured = np.array([1.0, 2.0, 3.0])
+    estimated = np.array([1.0, 3.0, 2.0])  # swaps the last two
+    # Pairs: 9 total; mismatches are (2,3) and (3,2).
+    assert fidelity(measured, estimated) == pytest.approx(7 / 9)
+
+
+def test_fidelity_with_tolerance_treats_close_values_as_equal():
+    measured = np.array([1.0, 1.0, 2.0])
+    estimated = np.array([1.0, 1.001, 2.0])
+    assert fidelity(measured, estimated) < 1.0
+    assert fidelity(measured, estimated, tolerance=0.01) == 1.0
+
+
+def test_fidelity_strict_excludes_diagonal():
+    measured = np.array([1.0, 2.0])
+    estimated = np.array([2.0, 1.0])
+    assert fidelity_strict(measured, estimated) == 0.0
+    assert fidelity(measured, estimated) == pytest.approx(0.5)
+
+
+def test_fidelity_input_validation():
+    with pytest.raises(ValueError):
+        fidelity(np.array([1.0]), np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        fidelity(np.array([]), np.array([]))
+    with pytest.raises(ValueError):
+        fidelity_strict(np.array([1.0]), np.array([1.0]))
+
+
+@settings(max_examples=40)
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=25))
+def test_fidelity_bounds_and_self_consistency(values):
+    measured = np.array(values)
+    estimated = measured.copy()
+    assert fidelity(measured, estimated) == 1.0
+    noisy = measured + 0.1
+    score = fidelity(measured, noisy)
+    assert 0.0 < score <= 1.0
+
+
+# ----------------------------- pareto --------------------------------- #
+def test_pareto_front_simple_case():
+    points = np.array([[1.0, 5.0], [2.0, 3.0], [3.0, 4.0], [4.0, 1.0], [5.0, 5.0]])
+    front = pareto_front_indices(points)
+    assert front == [0, 1, 3]
+
+
+def test_pareto_front_keeps_duplicates():
+    points = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+    assert pareto_front_indices(points) == [0, 1]
+
+
+def test_dominates_definition():
+    assert dominates([1.0, 1.0], [2.0, 2.0])
+    assert dominates([1.0, 2.0], [1.0, 3.0])
+    assert not dominates([1.0, 2.0], [1.0, 2.0])
+    assert not dominates([1.0, 3.0], [2.0, 2.0])
+
+
+def test_successive_fronts_partition_and_order():
+    rng = np.random.default_rng(0)
+    points = rng.uniform(0, 1, size=(60, 2))
+    fronts = successive_pareto_fronts(points, 3)
+    assert 1 <= len(fronts) <= 3
+    flattened = [i for front in fronts for i in front]
+    assert len(flattened) == len(set(flattened))
+    # No point in front k may dominate a point in front k-1.
+    for earlier, later in zip(fronts, fronts[1:]):
+        for j in later:
+            assert not any(dominates(points[j], points[i]) for i in earlier)
+
+
+def test_successive_fronts_exhaust_small_sets():
+    points = np.array([[1.0, 1.0], [2.0, 2.0]])
+    fronts = successive_pareto_fronts(points, 5)
+    assert fronts == [[0], [1]]
+    with pytest.raises(ValueError):
+        successive_pareto_fronts(points, 0)
+
+
+def test_pareto_union_and_coverage():
+    assert pareto_union([[1, 2], [2, 3], [5]]) == [1, 2, 3, 5]
+    assert pareto_coverage([1, 2, 3, 4], [2, 4, 9]) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        pareto_coverage([], [1])
+
+
+def test_hypervolume_known_value():
+    points = np.array([[1.0, 2.0], [2.0, 1.0]])
+    reference = [3.0, 3.0]
+    # Union of [1,3]x[2,3] and [2,3]x[1,3] = 2 + 1 = 3.
+    assert hypervolume_2d(points, reference) == pytest.approx(3.0)
+
+
+def test_hypervolume_monotone_under_improvement():
+    worse = np.array([[2.0, 2.0]])
+    better = np.array([[1.0, 1.0]])
+    reference = [3.0, 3.0]
+    assert hypervolume_2d(better, reference) > hypervolume_2d(worse, reference)
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 10.0), st.floats(0.0, 10.0)), min_size=1, max_size=40
+    )
+)
+def test_pareto_front_members_are_mutually_nondominated(raw_points):
+    points = np.array(raw_points)
+    front = pareto_front_indices(points)
+    assert front, "a non-empty point set always has a non-dominated point"
+    for i in front:
+        for j in front:
+            assert not dominates(points[j], points[i]) or np.allclose(points[i], points[j])
+
+
+# --------------------------- exploration ------------------------------ #
+def test_exploration_cost_accounting():
+    cost = ExplorationCost(
+        library_name="demo",
+        num_circuits=100,
+        exhaustive_time_s=1000.0,
+        training_time_s=80.0,
+        reSynthesis_time_s=15.0,
+        model_time_s=5.0,
+    )
+    assert cost.approxfpgas_time_s == pytest.approx(100.0)
+    assert cost.speedup == pytest.approx(10.0)
+    assert cost.as_dict()["speedup"] == pytest.approx(10.0)
+
+
+def test_exploration_summary_cumulative_rows():
+    summary = ExplorationSummary()
+    for index in range(3):
+        summary.add(
+            ExplorationCost(
+                library_name=f"lib{index}",
+                num_circuits=10,
+                exhaustive_time_s=100.0,
+                training_time_s=10.0,
+                reSynthesis_time_s=0.0,
+                model_time_s=0.0,
+            )
+        )
+    rows = summary.cumulative_rows()
+    assert rows[-1]["cumulative_exhaustive_s"] == pytest.approx(300.0)
+    assert rows[-1]["cumulative_approxfpgas_s"] == pytest.approx(30.0)
+    assert summary.overall_speedup == pytest.approx(10.0)
+
+
+def test_total_synthesis_time_and_units():
+    circuits = [array_multiplier(4), truncated_multiplier(4, 2)]
+    total = total_synthesis_time(circuits)
+    assert total > 0.0
+    assert seconds_to_days(86400.0) == pytest.approx(1.0)

@@ -1,0 +1,69 @@
+"""Unit tests for the primitive gate alphabet."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import GATE_ARITY, GateType, evaluate_gate, gate_truth_table
+from repro.circuits.gates import CONSTANT_GATES, ONE_INPUT_GATES, TWO_INPUT_GATES, is_symmetric
+
+
+def test_every_gate_type_has_an_arity():
+    assert set(GATE_ARITY) == set(GateType)
+
+
+def test_arity_partition_is_consistent():
+    assert set(CONSTANT_GATES) == {g for g, a in GATE_ARITY.items() if a == 0}
+    assert set(ONE_INPUT_GATES) == {g for g, a in GATE_ARITY.items() if a == 1}
+    assert set(TWO_INPUT_GATES) == {g for g, a in GATE_ARITY.items() if a == 2}
+
+
+@pytest.mark.parametrize(
+    "gate_type,expected",
+    [
+        (GateType.AND, [0, 0, 0, 1]),
+        (GateType.OR, [0, 1, 1, 1]),
+        (GateType.XOR, [0, 1, 1, 0]),
+        (GateType.NAND, [1, 1, 1, 0]),
+        (GateType.NOR, [1, 0, 0, 0]),
+        (GateType.XNOR, [1, 0, 0, 1]),
+        (GateType.ANDNOT, [0, 0, 1, 0]),
+        (GateType.ORNOT, [1, 0, 1, 1]),
+    ],
+)
+def test_two_input_truth_tables(gate_type, expected):
+    assert gate_truth_table(gate_type).astype(int).tolist() == expected
+
+
+def test_not_and_buf_truth_tables():
+    a = np.array([False, True])
+    b = np.zeros(2, dtype=bool)
+    assert evaluate_gate(GateType.NOT, a, b).tolist() == [True, False]
+    assert evaluate_gate(GateType.BUF, a, b).tolist() == [False, True]
+
+
+def test_constants_ignore_operands():
+    a = np.array([True, False, True])
+    b = np.array([False, False, True])
+    assert evaluate_gate(GateType.CONST0, a, b).tolist() == [False] * 3
+    assert evaluate_gate(GateType.CONST1, a, b).tolist() == [True] * 3
+
+
+def test_evaluate_gate_is_vectorised():
+    a = np.random.default_rng(0).integers(0, 2, 1000).astype(bool)
+    b = np.random.default_rng(1).integers(0, 2, 1000).astype(bool)
+    result = evaluate_gate(GateType.XOR, a, b)
+    assert result.shape == (1000,)
+    assert np.array_equal(result, a ^ b)
+
+
+def test_symmetric_gate_classification():
+    assert is_symmetric(GateType.AND)
+    assert is_symmetric(GateType.XNOR)
+    assert not is_symmetric(GateType.ANDNOT)
+
+
+def test_buf_returns_copy_not_view():
+    a = np.array([True, False])
+    out = evaluate_gate(GateType.BUF, a, a)
+    out[0] = False
+    assert a[0]

@@ -1,0 +1,114 @@
+"""Behavioural tests of the approximate adder families."""
+
+import numpy as np
+import pytest
+
+from repro.error import evaluate_error
+from repro.generators import (
+    approximate_fa_adder,
+    carry_cut_adder,
+    lower_or_adder,
+    ripple_carry_adder,
+    truncated_adder,
+)
+
+
+def _mean_abs_error(circuit, width, rng, samples=400):
+    a = rng.integers(0, 1 << width, samples)
+    b = rng.integers(0, 1 << width, samples)
+    approx = circuit.evaluate_words({"a": a, "b": b})
+    return float(np.abs(approx - (a + b)).mean())
+
+
+def test_truncated_adder_zero_cut_is_exact(rng):
+    adder = truncated_adder(8, cut=0)
+    assert _mean_abs_error(adder, 8, rng) == 0.0
+
+
+@pytest.mark.parametrize("cut", [1, 2, 4, 6])
+def test_truncated_adder_error_bounded_by_cut(cut, rng):
+    adder = truncated_adder(8, cut=cut)
+    a = rng.integers(0, 256, 300)
+    b = rng.integers(0, 256, 300)
+    approx = adder.evaluate_words({"a": a, "b": b})
+    # The truncated adder can at most lose the low `cut` bits of each operand
+    # plus the carries they would have produced.
+    assert np.all(np.abs(approx - (a + b)) < 2 ** (cut + 1))
+
+
+def test_truncated_adder_error_monotone_in_cut(rng):
+    errors = [_mean_abs_error(truncated_adder(8, cut=cut), 8, rng) for cut in (1, 3, 5, 7)]
+    assert errors == sorted(errors)
+
+
+def test_truncated_adder_fill_one_differs(rng):
+    zero_fill = truncated_adder(8, cut=3, fill_one=False)
+    one_fill = truncated_adder(8, cut=3, fill_one=True)
+    a = rng.integers(0, 256, 100)
+    b = rng.integers(0, 256, 100)
+    assert not np.array_equal(
+        zero_fill.evaluate_words({"a": a, "b": b}), one_fill.evaluate_words({"a": a, "b": b})
+    )
+
+
+def test_lower_or_adder_cut_zero_is_exact(rng):
+    assert _mean_abs_error(lower_or_adder(8, cut=0), 8, rng) == 0.0
+
+
+def test_lower_or_adder_more_accurate_than_truncation(rng):
+    loa = _mean_abs_error(lower_or_adder(8, cut=4), 8, rng)
+    trunc = _mean_abs_error(truncated_adder(8, cut=4), 8, rng)
+    assert loa < trunc
+
+
+@pytest.mark.parametrize("variant", [1, 2, 3, 4])
+def test_afa_adder_cut_zero_is_exact(variant, rng):
+    assert _mean_abs_error(approximate_fa_adder(8, cut=0, variant=variant), 8, rng) == 0.0
+
+
+@pytest.mark.parametrize("variant", [1, 2, 3, 4])
+def test_afa_adder_introduces_bounded_error(variant, rng):
+    adder = approximate_fa_adder(8, cut=3, variant=variant)
+    error = _mean_abs_error(adder, 8, rng)
+    assert 0.0 < error < 32.0
+
+
+def test_carry_cut_adder_full_segment_is_exact(rng):
+    adder = carry_cut_adder(8, segment=8, lookback=0)
+    assert _mean_abs_error(adder, 8, rng) == 0.0
+
+
+def test_carry_cut_adder_lookback_reduces_error(rng):
+    no_lookback = evaluate_error(carry_cut_adder(8, segment=2, lookback=0), ripple_carry_adder(8))
+    with_lookback = evaluate_error(carry_cut_adder(8, segment=2, lookback=4), ripple_carry_adder(8))
+    assert with_lookback.med < no_lookback.med
+
+
+def test_adder_generators_validate_parameters():
+    with pytest.raises(ValueError):
+        truncated_adder(8, cut=9)
+    with pytest.raises(ValueError):
+        lower_or_adder(8, cut=-1)
+    with pytest.raises(ValueError):
+        approximate_fa_adder(8, cut=9, variant=1)
+    with pytest.raises(ValueError):
+        carry_cut_adder(8, segment=0)
+
+
+def test_adder_metadata_records_family_and_cut():
+    adder = lower_or_adder(8, cut=3)
+    assert adder.meta["family"] == "loa"
+    assert adder.meta["cut"] == 3
+    assert adder.meta["bitwidth"] == 8
+
+
+def test_adder_interface_width_is_preserved():
+    for circuit in (
+        truncated_adder(8, 4),
+        lower_or_adder(8, 4),
+        approximate_fa_adder(8, 4, 1),
+        carry_cut_adder(8, 4, 1),
+    ):
+        assert circuit.num_outputs == 9
+        assert circuit.word_width("a") == 8
+        assert circuit.word_width("b") == 8

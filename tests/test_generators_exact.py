@@ -1,0 +1,89 @@
+"""Functional correctness of the exact arithmetic generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import (
+    array_multiplier,
+    carry_select_adder,
+    exact_reference,
+    ripple_carry_adder,
+    wallace_multiplier,
+)
+
+
+@pytest.mark.parametrize("width", [2, 3, 4, 8, 12])
+def test_ripple_carry_adder_exact(width, rng):
+    adder = ripple_carry_adder(width)
+    a = rng.integers(0, 1 << width, 200)
+    b = rng.integers(0, 1 << width, 200)
+    assert np.array_equal(adder.evaluate_words({"a": a, "b": b}), a + b)
+
+
+@pytest.mark.parametrize("width,block", [(4, 2), (8, 3), (8, 4), (12, 4)])
+def test_carry_select_adder_exact(width, block, rng):
+    adder = carry_select_adder(width, block=block)
+    a = rng.integers(0, 1 << width, 200)
+    b = rng.integers(0, 1 << width, 200)
+    assert np.array_equal(adder.evaluate_words({"a": a, "b": b}), a + b)
+
+
+@pytest.mark.parametrize("width", [2, 3, 4, 6, 8])
+def test_array_multiplier_exact(width, rng):
+    multiplier = array_multiplier(width)
+    a = rng.integers(0, 1 << width, 200)
+    b = rng.integers(0, 1 << width, 200)
+    assert np.array_equal(multiplier.evaluate_words({"a": a, "b": b}), a * b)
+
+
+@pytest.mark.parametrize("width", [2, 3, 4, 6, 8])
+def test_wallace_multiplier_exact(width, rng):
+    multiplier = wallace_multiplier(width)
+    a = rng.integers(0, 1 << width, 200)
+    b = rng.integers(0, 1 << width, 200)
+    assert np.array_equal(multiplier.evaluate_words({"a": a, "b": b}), a * b)
+
+
+def test_multiplier4_exhaustively_exact(multiplier4):
+    outputs = multiplier4.exhaustive_outputs()
+    a = np.repeat(np.arange(16), 16)
+    b = np.tile(np.arange(16), 16)
+    assert np.array_equal(outputs, a * b)
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+def test_adder8_single_pairs(a, b):
+    adder = ripple_carry_adder(8)
+    assert adder.evaluate_words({"a": [a], "b": [b]})[0] == a + b
+
+
+def test_interface_shapes():
+    adder = ripple_carry_adder(8)
+    assert adder.num_outputs == 9
+    multiplier = array_multiplier(8)
+    assert multiplier.num_outputs == 16
+    assert set(multiplier.input_words) == {"a", "b"}
+
+
+def test_exact_reference_dispatch():
+    assert exact_reference("adder", 8).kind == "adder"
+    assert exact_reference("multiplier", 4).kind == "multiplier"
+    with pytest.raises(ValueError):
+        exact_reference("divider", 8)
+
+
+def test_generators_reject_bad_widths():
+    with pytest.raises(ValueError):
+        ripple_carry_adder(0)
+    with pytest.raises(ValueError):
+        array_multiplier(1)
+    with pytest.raises(ValueError):
+        wallace_multiplier(1)
+
+
+def test_exact_flag_in_metadata():
+    assert ripple_carry_adder(8).meta["exact"] is True
+    assert array_multiplier(4).meta["exact"] is True

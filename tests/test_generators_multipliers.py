@@ -1,0 +1,118 @@
+"""Behavioural tests of the approximate multiplier families."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    approximate_cell_multiplier,
+    array_multiplier,
+    broken_array_multiplier,
+    or_partial_product_multiplier,
+    recursive_multiplier,
+    truncated_multiplier,
+)
+
+
+def _mean_abs_error(circuit, width, rng, samples=400):
+    a = rng.integers(0, 1 << width, samples)
+    b = rng.integers(0, 1 << width, samples)
+    approx = circuit.evaluate_words({"a": a, "b": b})
+    return float(np.abs(approx.astype(np.int64) - a * b).mean())
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: truncated_multiplier(4, 0),
+        lambda: broken_array_multiplier(4, 0, 0),
+        lambda: or_partial_product_multiplier(4, 0),
+        lambda: approximate_cell_multiplier(4, 0, 1),
+        lambda: recursive_multiplier(4, 0),
+    ],
+)
+def test_zero_approximation_is_exact(factory, rng):
+    assert _mean_abs_error(factory(), 4, rng) == 0.0
+
+
+def test_truncated_multiplier_error_monotone_in_cut(rng):
+    errors = [_mean_abs_error(truncated_multiplier(8, cut), 8, rng) for cut in (1, 3, 5, 7)]
+    assert errors == sorted(errors)
+    assert errors[-1] > 0.0
+
+
+def test_truncated_multiplier_never_overestimates(rng):
+    circuit = truncated_multiplier(8, 4)
+    a = rng.integers(0, 256, 300)
+    b = rng.integers(0, 256, 300)
+    approx = circuit.evaluate_words({"a": a, "b": b})
+    assert np.all(approx <= a * b)
+
+
+def test_broken_array_error_grows_with_breaks(rng):
+    mild = _mean_abs_error(broken_array_multiplier(8, 1, 2), 8, rng)
+    severe = _mean_abs_error(broken_array_multiplier(8, 4, 8), 8, rng)
+    assert severe > mild
+
+
+def test_or_pp_multiplier_introduces_error(rng):
+    assert _mean_abs_error(or_partial_product_multiplier(8, 6), 8, rng) > 0.0
+
+
+@pytest.mark.parametrize("variant", [1, 2, 3, 4])
+def test_approximate_cell_multiplier_error_nonzero(variant, rng):
+    assert _mean_abs_error(approximate_cell_multiplier(8, 6, variant), 8, rng) > 0.0
+
+
+def test_recursive_multiplier_kulkarni_signature():
+    # The classic inaccurate 2x2 block computes 3 * 3 = 7.
+    circuit = recursive_multiplier(4, approx_level=8)
+    assert circuit.evaluate_words({"a": [3], "b": [3]})[0] != 9
+
+
+def test_recursive_multiplier_error_grows_with_level(rng):
+    errors = [_mean_abs_error(recursive_multiplier(8, level), 8, rng) for level in (0, 4, 8)]
+    assert errors[0] == 0.0
+    assert errors[1] <= errors[2]
+    assert errors[2] > 0.0
+
+
+def test_recursive_multiplier_requires_power_of_two():
+    with pytest.raises(ValueError):
+        recursive_multiplier(6, 0)
+    with pytest.raises(ValueError):
+        recursive_multiplier(2, 0)
+
+
+def test_multiplier_generators_validate_parameters():
+    with pytest.raises(ValueError):
+        truncated_multiplier(8, 16)
+    with pytest.raises(ValueError):
+        broken_array_multiplier(8, -1, 0)
+    with pytest.raises(ValueError):
+        or_partial_product_multiplier(8, 20)
+    with pytest.raises(ValueError):
+        approximate_cell_multiplier(8, 20, 1)
+
+
+def test_multiplier_interface_width_is_preserved():
+    for circuit in (
+        truncated_multiplier(8, 5),
+        broken_array_multiplier(8, 2, 3),
+        or_partial_product_multiplier(8, 4),
+        approximate_cell_multiplier(8, 4, 2),
+        recursive_multiplier(8, 4),
+    ):
+        assert circuit.num_outputs == 16
+        assert circuit.word_width("a") == 8
+
+
+def test_multiplier_metadata_records_family():
+    assert truncated_multiplier(8, 3).meta["family"] == "trunc_mult"
+    assert broken_array_multiplier(8, 1, 1).meta["family"] == "broken_array"
+    assert recursive_multiplier(8, 2).meta["family"] == "recursive"
+
+
+def test_approximate_multipliers_not_larger_than_exact(rng):
+    exact_gates = array_multiplier(8).live_gate_count()
+    truncated_gates = truncated_multiplier(8, 6).live_gate_count()
+    assert truncated_gates < exact_gates

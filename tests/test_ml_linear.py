@@ -1,0 +1,123 @@
+"""Tests of the linear model family."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    BayesianRidgeRegression,
+    LassoRegression,
+    LeastAngleRegression,
+    LinearRegression,
+    MeanRegressor,
+    RidgeRegression,
+    SGDRegressor,
+    ScaledRegressor,
+    r2_score,
+)
+
+
+def make_linear_data(n=80, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, size=(n, 4))
+    coefficients = np.array([2.0, -1.0, 0.5, 0.0])
+    y = X @ coefficients + 3.0 + noise * rng.normal(0, 1, n)
+    return X, y, coefficients
+
+
+def test_ols_recovers_coefficients():
+    X, y, coefficients = make_linear_data(noise=0.0)
+    model = LinearRegression().fit(X, y)
+    assert np.allclose(model.coef_, coefficients, atol=1e-8)
+    assert model.intercept_ == pytest.approx(3.0, abs=1e-8)
+    assert model.score(X, y) == pytest.approx(1.0)
+
+
+def test_ols_without_intercept():
+    X = np.array([[1.0], [2.0], [3.0]])
+    y = np.array([2.0, 4.0, 6.0])
+    model = LinearRegression(fit_intercept=False).fit(X, y)
+    assert model.intercept_ == 0.0
+    assert model.coef_[0] == pytest.approx(2.0)
+
+
+def test_ridge_shrinks_towards_zero():
+    X, y, _ = make_linear_data(noise=0.0)
+    ols = LinearRegression().fit(X, y)
+    ridge = RidgeRegression(alpha=100.0).fit(X, y)
+    assert np.linalg.norm(ridge.coef_) < np.linalg.norm(ols.coef_)
+
+
+def test_ridge_alpha_zero_matches_ols():
+    X, y, _ = make_linear_data(noise=0.0)
+    ridge = RidgeRegression(alpha=1e-10).fit(X, y)
+    ols = LinearRegression().fit(X, y)
+    assert np.allclose(ridge.coef_, ols.coef_, atol=1e-5)
+
+
+def test_bayesian_ridge_close_to_truth():
+    X, y, coefficients = make_linear_data(noise=0.05)
+    model = BayesianRidgeRegression().fit(X, y)
+    assert np.allclose(model.coef_, coefficients, atol=0.15)
+    assert model.alpha_ > 0.0 and model.lambda_ > 0.0
+    assert model.score(X, y) > 0.95
+
+
+def test_lasso_produces_sparse_solution():
+    X, y, _ = make_linear_data(noise=0.0)
+    model = LassoRegression(alpha=0.5).fit(X, y)
+    # The truly-zero coefficient must stay (near) zero under L1 pressure.
+    assert abs(model.coef_[3]) < 0.05
+    assert model.score(X, y) > 0.8
+
+
+def test_lars_selects_relevant_features():
+    X, y, _ = make_linear_data(noise=0.0)
+    model = LeastAngleRegression(n_nonzero_coefs=2).fit(X, y)
+    assert len(model.active_) <= 2
+    assert 0 in model.active_  # strongest coefficient first
+
+
+def test_lars_full_fit_accuracy():
+    X, y, _ = make_linear_data(noise=0.05)
+    model = LeastAngleRegression().fit(X, y)
+    assert model.score(X, y) > 0.95
+
+
+def test_sgd_with_scaling_learns_linear_function():
+    X, y, _ = make_linear_data(n=200, noise=0.05)
+    model = ScaledRegressor(SGDRegressor(max_iter=300, random_state=1), scale_target=True).fit(X, y)
+    assert r2_score(y, model.predict(X)) > 0.9
+
+
+def test_models_validate_hyperparameters():
+    with pytest.raises(ValueError):
+        RidgeRegression(alpha=-1.0)
+    with pytest.raises(ValueError):
+        LassoRegression(alpha=-0.1)
+
+
+def test_predict_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        LinearRegression().predict(np.zeros((2, 3)))
+
+
+def test_feature_count_mismatch_raises():
+    X, y, _ = make_linear_data()
+    model = LinearRegression().fit(X, y)
+    with pytest.raises(ValueError):
+        model.predict(np.zeros((2, 7)))
+
+
+def test_mean_regressor_baseline():
+    X, y, _ = make_linear_data()
+    model = MeanRegressor().fit(X, y)
+    assert np.allclose(model.predict(X), y.mean())
+
+
+def test_clone_resets_fitted_state():
+    X, y, _ = make_linear_data()
+    model = RidgeRegression(alpha=2.0).fit(X, y)
+    fresh = model.clone()
+    assert fresh.alpha == 2.0
+    with pytest.raises(RuntimeError):
+        fresh.predict(X)

@@ -1,0 +1,137 @@
+"""Tests of the perturbation engine and the circuit-library builders."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    CircuitLibrary,
+    PerturbationConfig,
+    array_multiplier,
+    build_adder_library,
+    build_library,
+    build_multiplier_library,
+    default_library_plan,
+    perturb_netlist,
+    perturbation_sweep,
+    ripple_carry_adder,
+)
+
+
+def test_perturbation_preserves_interface():
+    base = ripple_carry_adder(8)
+    mutated = perturb_netlist(base, seed=1)
+    mutated.validate()
+    assert mutated.input_words == base.input_words
+    assert mutated.num_outputs == base.num_outputs
+
+
+def test_perturbation_is_deterministic_per_seed():
+    base = array_multiplier(4)
+    first = perturb_netlist(base, seed=42)
+    second = perturb_netlist(base, seed=42)
+    assert first.gates == second.gates
+    assert first.output_bits == second.output_bits
+
+
+def test_perturbation_changes_something():
+    base = array_multiplier(4)
+    mutated = perturb_netlist(base, seed=7, config=PerturbationConfig(num_mutations=6))
+    assert mutated.gates != base.gates or mutated.output_bits != base.output_bits
+
+
+def test_perturbation_meta_records_provenance():
+    base = ripple_carry_adder(4)
+    mutated = perturb_netlist(base, seed=9)
+    assert mutated.meta["exact"] is False
+    assert mutated.meta["perturbation_seed"] == 9
+
+
+def test_perturbation_sweep_counts_and_unique_names():
+    base = array_multiplier(4)
+    variants = perturbation_sweep(base, count=20, seed=3)
+    assert len(variants) == 20
+    assert len({v.name for v in variants}) == 20
+
+
+def test_perturbation_sweep_rejects_negative_count():
+    with pytest.raises(ValueError):
+        perturbation_sweep(ripple_carry_adder(4), count=-1, seed=0)
+
+
+# --------------------------------------------------------------------- #
+def test_adder_library_size_and_uniqueness(small_adder_library):
+    assert len(small_adder_library) == 50
+    assert len(set(small_adder_library.names())) == 50
+    assert small_adder_library.kind == "adder"
+
+
+def test_multiplier_library_contains_exact_circuit(small_multiplier_library):
+    exact_names = [c.name for c in small_multiplier_library.exact_circuits]
+    assert exact_names, "library must contain at least one exact circuit"
+
+
+def test_library_lookup_and_indexing(small_multiplier_library):
+    first = small_multiplier_library[0]
+    assert small_multiplier_library.get(first.name) is first
+
+
+def test_library_rejects_duplicate_names(small_multiplier_library):
+    library = CircuitLibrary(name="dup", kind="multiplier", bitwidth=4)
+    circuit = array_multiplier(4)
+    library.add(circuit)
+    with pytest.raises(ValueError):
+        library.add(circuit.copy())
+
+
+def test_random_subset_fraction(small_multiplier_library):
+    subset = small_multiplier_library.random_subset(0.25, seed=1)
+    assert len(subset) == round(0.25 * len(small_multiplier_library))
+    assert len({c.name for c in subset}) == len(subset)
+    with pytest.raises(ValueError):
+        small_multiplier_library.random_subset(0.0, seed=1)
+
+
+def test_library_families_counts_sum_to_size(small_multiplier_library):
+    families = small_multiplier_library.families()
+    assert sum(families.values()) == len(small_multiplier_library)
+    assert len(families) >= 3
+
+
+def test_library_reference_is_exact(small_multiplier_library, rng):
+    reference = small_multiplier_library.reference()
+    a = rng.integers(0, 16, 100)
+    b = rng.integers(0, 16, 100)
+    assert np.array_equal(reference.evaluate_words({"a": a, "b": b}), a * b)
+
+
+def test_build_library_dispatch():
+    assert build_library("adder", 4, size=10).kind == "adder"
+    assert build_library("multiplier", 4, size=10).kind == "multiplier"
+    with pytest.raises(ValueError):
+        build_library("divider", 4, size=10)
+
+
+def test_build_library_rejects_bad_size():
+    with pytest.raises(ValueError):
+        build_adder_library(8, size=0)
+    with pytest.raises(ValueError):
+        build_multiplier_library(8, size=0)
+
+
+def test_default_library_plan_matches_paper_structure():
+    plan = default_library_plan()
+    kinds = [(entry["kind"], entry["width"]) for entry in plan]
+    assert ("adder", 8) in kinds and ("adder", 12) in kinds and ("adder", 16) in kinds
+    assert ("multiplier", 8) in kinds and ("multiplier", 12) in kinds and ("multiplier", 16) in kinds
+
+
+def test_library_circuits_all_validate(small_multiplier_library):
+    for circuit in small_multiplier_library:
+        circuit.validate()
+
+
+def test_library_error_spread(small_multiplier_library, multiplier4_evaluator):
+    meds = [multiplier4_evaluator.evaluate(c).med for c in small_multiplier_library]
+    assert min(meds) == 0.0
+    assert max(meds) > 0.01
+    assert len({round(m, 6) for m in meds}) > 5

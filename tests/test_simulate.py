@@ -1,0 +1,96 @@
+"""Unit and property-based tests for the simulation engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    bits_to_words,
+    exhaustive_operands,
+    exhaustive_simulate,
+    random_operands,
+    simulate_bits,
+    simulate_words,
+    words_to_bits,
+)
+from repro.generators import ripple_carry_adder
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=64))
+def test_words_bits_roundtrip(values):
+    bits = words_to_bits(np.array(values), 8)
+    assert np.array_equal(bits_to_words(bits), np.array(values))
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=0, max_value=2**16 - 1),
+)
+def test_words_to_bits_lsb_first(width, value):
+    value = value % (1 << width)
+    bits = words_to_bits(np.array([value]), width)[0]
+    reconstructed = sum(int(bit) << position for position, bit in enumerate(bits))
+    assert reconstructed == value
+
+
+def test_words_to_bits_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        words_to_bits(np.array([256]), 8)
+    with pytest.raises(ValueError):
+        words_to_bits(np.array([-1]), 8)
+
+
+def test_simulate_bits_shape_check(adder8):
+    with pytest.raises(ValueError):
+        simulate_bits(adder8, np.zeros((4, 3), dtype=bool))
+
+
+def test_simulate_words_missing_operand(adder8):
+    with pytest.raises(ValueError):
+        simulate_words(adder8, {"a": [1, 2]})
+
+
+def test_simulate_words_mismatched_lengths(adder8):
+    with pytest.raises(ValueError):
+        simulate_words(adder8, {"a": [1, 2], "b": [1]})
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=32),
+    st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=32),
+)
+def test_adder_simulation_matches_python_addition(a_values, b_values):
+    length = min(len(a_values), len(b_values))
+    a = np.array(a_values[:length])
+    b = np.array(b_values[:length])
+    adder = ripple_carry_adder(8)
+    assert np.array_equal(adder.evaluate_words({"a": a, "b": b}), a + b)
+
+
+def test_exhaustive_operands_cover_all_combinations(multiplier4):
+    operands = exhaustive_operands(multiplier4)
+    assert len(operands["a"]) == 256
+    pairs = set(zip(operands["a"].tolist(), operands["b"].tolist()))
+    assert len(pairs) == 256
+
+
+def test_exhaustive_simulate_matches_reference(multiplier4):
+    outputs = exhaustive_simulate(multiplier4)
+    operands = exhaustive_operands(multiplier4)
+    assert np.array_equal(outputs, operands["a"] * operands["b"])
+
+
+def test_exhaustive_simulate_rejects_wide_circuits():
+    wide = ripple_carry_adder(16)
+    with pytest.raises(ValueError):
+        exhaustive_simulate(wide)
+
+
+def test_random_operands_within_range(adder8, rng):
+    operands = random_operands(adder8, 500, rng)
+    for word in ("a", "b"):
+        assert operands[word].min() >= 0
+        assert operands[word].max() < 256
+        assert len(operands[word]) == 500
