@@ -40,7 +40,7 @@ def test_fig8_pareto_coverage_and_speedup(benchmark, fig8_results):
                     "circuits": len(result.records),
                     "synthesized_by_flow": int(
                         round(
-                            (result.exploration_cost.training_time_s + result.exploration_cost.reSynthesis_time_s)
+                            (result.exploration_cost.training_time_s + result.exploration_cost.resynthesis_time_s)
                             / max(result.exploration_cost.exhaustive_time_s, 1e-9)
                             * len(result.records)
                         )

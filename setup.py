@@ -4,9 +4,14 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy>=1.20", "scipy>=1.7"],
+    extras_require={
+        # `pip install -e .[test]` + `python -m pytest -x -q` runs the suite
+        # (pytest.ini supplies pythonpath/testpaths for non-installed use).
+        "test": ["pytest>=7.0", "pytest-benchmark>=4.0"],
+    },
 )

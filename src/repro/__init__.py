@@ -9,18 +9,45 @@ The package is organised as the paper's system diagram (Fig. 2):
 * :mod:`repro.asic` / :mod:`repro.fpga` -- the two synthesis substrates,
 * :mod:`repro.features` / :mod:`repro.ml` -- feature extraction and the Table I model zoo,
 * :mod:`repro.core` -- fidelity, Pareto machinery and the end-to-end flow,
+* :mod:`repro.engine` -- the parallel cached evaluation engine (see below),
 * :mod:`repro.autoax` -- the AutoAx-FPGA Gaussian-filter case study.
+
+Evaluation engine
+-----------------
+The exploration hot path -- evaluating the error metrics and the ASIC/FPGA
+cost models of whole circuit libraries -- is served by :mod:`repro.engine`:
+
+* :meth:`repro.circuits.Netlist.fingerprint` gives every circuit a stable
+  structural content hash (names and metadata excluded), so structurally
+  identical circuits share one identity;
+* :class:`repro.engine.EvalCache` is a two-layer cache over those
+  fingerprints: an in-memory LRU plus an optional on-disk JSON backend
+  (:class:`repro.io.JsonDirectoryStore`) that persists results across
+  sessions;
+* :class:`repro.engine.BatchEvaluator` evaluates whole libraries at once --
+  operands and reference outputs are computed once and shared, each circuit
+  costs a single vectorised simulation pass, and large miss sets can fan out
+  over a :class:`~concurrent.futures.ProcessPoolExecutor` -- while staying
+  bit-identical to the serial per-circuit path.
+
+:class:`~repro.core.ApproxFpgasFlow`, the AutoAx-FPGA search strategies and
+:func:`repro.autoax.components_from_library` all route their evaluations
+through one engine, so cache hits are shared across every stage of a flow
+(and across flows, when an explicit cache is passed).
 """
 
 from .core import ApproxFpgasConfig, ApproxFpgasFlow, run_approxfpgas
+from .engine import BatchEvaluator, EvalCache
 from .generators import CircuitLibrary, build_adder_library, build_multiplier_library
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ApproxFpgasConfig",
     "ApproxFpgasFlow",
     "run_approxfpgas",
+    "BatchEvaluator",
+    "EvalCache",
     "CircuitLibrary",
     "build_adder_library",
     "build_multiplier_library",

@@ -107,6 +107,7 @@ def components_from_library(
     parameter: str = "area",
     max_error: float = 0.1,
     seed: int = 5,
+    engine: Optional["BatchEvaluator"] = None,
 ) -> List[ApproxComponent]:
     """Pick ``count`` Pareto-spread components from a library.
 
@@ -116,20 +117,35 @@ def components_from_library(
     the (error, cost) Pareto front of the remainder is computed and ``count``
     components are taken spread along the front.  If the front is shorter
     than ``count`` the least-error dominated circuits fill in.
+
+    Evaluation is batched through :class:`repro.engine.BatchEvaluator`; pass
+    an ``engine`` (e.g. one shared with an ApproxFPGAs flow over the same
+    library) to reuse its cached error metrics and FPGA reports.
     """
     from ..core.pareto import pareto_front_indices
+    from ..engine import BatchEvaluator
 
-    fpga_synthesizer = fpga_synthesizer or FpgaSynthesizer()
-    evaluator = ErrorEvaluator(library.reference())
+    if engine is None:
+        engine = BatchEvaluator(
+            library.reference(), fpga_synthesizer=fpga_synthesizer or FpgaSynthesizer()
+        )
+    elif fpga_synthesizer is not None:
+        if engine.fpga_synthesizer is None:
+            engine.fpga_synthesizer = fpga_synthesizer
+        elif engine.fpga_synthesizer is not fpga_synthesizer:
+            raise ValueError(
+                "conflicting fpga_synthesizer: the provided engine already has "
+                "its own; pass one or the other"
+            )
     all_circuits = list(library)
-    all_errors = [evaluator.evaluate(circuit) for circuit in all_circuits]
+    all_errors = engine.evaluate_errors(all_circuits)
     keep = [i for i, e in enumerate(all_errors) if e.med <= max_error]
     if len(keep) < count:
         # Not enough accurate circuits: fall back to the lowest-error ones.
         keep = sorted(range(len(all_circuits)), key=lambda i: all_errors[i].med)[: max(count, 1)]
     circuits = [all_circuits[i] for i in keep]
     errors = [all_errors[i] for i in keep]
-    reports = [fpga_synthesizer.synthesize(circuit) for circuit in circuits]
+    reports = engine.evaluate_fpga(circuits)
 
     points = np.column_stack(
         [[e.med for e in errors], [r.parameter(parameter) for r in reports]]

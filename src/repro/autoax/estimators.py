@@ -9,6 +9,7 @@ encoding of a configuration and thin estimator wrappers around the
 
 from __future__ import annotations
 
+import uuid
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -88,16 +89,29 @@ def collect_training_samples(
     return samples
 
 
+def _fresh_cache_token(prefix: str) -> str:
+    """Globally unique token versioning one estimator state.
+
+    Cached estimates (see :func:`repro.autoax.search.hill_climb_pareto`) are
+    keyed by this token, so they can never be served across different
+    estimator instances or fits -- including across processes sharing a
+    disk-backed cache, which is why this is a UUID and not a counter.
+    """
+    return f"{prefix}-{uuid.uuid4().hex}"
+
+
 class QorEstimator:
     """Estimates the SSIM of a configuration from its feature vector."""
 
     def __init__(self, model: Optional[Regressor] = None):
         self.model = model or RandomForestRegressor(n_estimators=40, max_depth=8)
+        self.cache_token = _fresh_cache_token("qor")
 
     def fit(self, samples: Sequence[TrainingSample]) -> "QorEstimator":
         X = np.vstack([sample.features for sample in samples])
         y = np.array([sample.quality for sample in samples])
         self.model.fit(X, y)
+        self.cache_token = _fresh_cache_token("qor")
         return self
 
     def estimate(self, accelerator: GaussianFilterAccelerator, config: Configuration) -> float:
@@ -111,11 +125,13 @@ class HwCostEstimator:
     def __init__(self, parameter: str, model: Optional[Regressor] = None):
         self.parameter = parameter
         self.model = model or ScaledRegressor(RidgeRegression(alpha=1.0))
+        self.cache_token = _fresh_cache_token(f"hw-{parameter}")
 
     def fit(self, samples: Sequence[TrainingSample]) -> "HwCostEstimator":
         X = np.vstack([sample.features for sample in samples])
         y = np.array([sample.cost[self.parameter] for sample in samples])
         self.model.fit(X, y)
+        self.cache_token = _fresh_cache_token(f"hw-{self.parameter}")
         return self
 
     def estimate(self, accelerator: GaussianFilterAccelerator, config: Configuration) -> float:

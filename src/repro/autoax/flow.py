@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.pareto import hypervolume_2d, pareto_front_indices
+from ..engine import EvalCache
 from .accelerator import ApproxComponent, Configuration, GaussianFilterAccelerator
 from .estimators import HwCostEstimator, QorEstimator, collect_training_samples
 from .images import default_image_set
@@ -112,10 +113,15 @@ class AutoAxFpgaFlow:
         adders: Sequence[ApproxComponent],
         config: Optional[AutoAxConfig] = None,
         images: Optional[Sequence[np.ndarray]] = None,
+        cache: Optional[EvalCache] = None,
     ):
         self.config = config or AutoAxConfig()
         self.accelerator = GaussianFilterAccelerator(multipliers, adders)
         self.images = list(images) if images is not None else default_image_set(self.config.image_size)
+        # One cache for the whole case study: exact evaluations are shared
+        # between the per-parameter re-evaluation passes and the random
+        # baseline, estimated ones between hill-climbing iterations.
+        self.cache = cache if cache is not None else EvalCache()
 
     def run(self) -> AutoAxResult:
         """Execute the case study and return the per-scenario results."""
@@ -136,8 +142,11 @@ class AutoAxFpgaFlow:
                 hw_estimator,
                 iterations=config.hill_climb_iterations,
                 seed=config.seed + 100 + offset,
+                cache=self.cache,
             )
-            evaluated = exact_reevaluation(self.accelerator, self.images, candidates)
+            evaluated = exact_reevaluation(
+                self.accelerator, self.images, candidates, cache=self.cache
+            )
             points = np.array(
                 [[entry.cost[parameter], 1.0 - entry.quality] for entry in evaluated]
             )
@@ -150,7 +159,11 @@ class AutoAxFpgaFlow:
             )
 
         baseline = random_search(
-            self.accelerator, self.images, config.num_random_baseline, seed=config.seed + 999
+            self.accelerator,
+            self.images,
+            config.num_random_baseline,
+            seed=config.seed + 999,
+            cache=self.cache,
         )
 
         return AutoAxResult(

@@ -3,15 +3,28 @@
 AutoAx-FPGA uses a Pareto-archive hill climber driven by the estimators;
 the baseline it is compared against in Fig. 9 is plain random search with
 exact evaluation.
+
+All configuration evaluation is routed through the evaluation engine's
+cache when one is passed: exact evaluations are keyed by the accelerator's
+component set, the image set and the configuration, so hits are shared
+between :func:`random_search` and :func:`exact_reevaluation` (and across
+repeated searches over the same accelerator); estimated evaluations inside
+:func:`hill_climb_pareto` are additionally keyed by the fitted estimator
+state, so revisited configurations are scored once.  Caching never changes
+results -- every evaluation is a deterministic function of its key -- and
+random-number consumption is independent of hits, so seeded searches are
+reproducible with or without a cache.
 """
 
 from __future__ import annotations
 
+import uuid
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine import EvalCache, blake_token, cache_key, configuration_token, images_token
 from .accelerator import Configuration, GaussianFilterAccelerator
 from .estimators import HwCostEstimator, QorEstimator
 
@@ -42,24 +55,79 @@ def _non_dominated(
     return [archive[i] for i in keep]
 
 
+def accelerator_token(accelerator: GaussianFilterAccelerator) -> str:
+    """Digest of the component sets an accelerator is built from."""
+    return blake_token(
+        [component.netlist.fingerprint() for component in accelerator.multipliers],
+        [component.netlist.fingerprint() for component in accelerator.adders],
+    )
+
+
+def _exact_context(accelerator: GaussianFilterAccelerator, images: Sequence[np.ndarray]) -> str:
+    return blake_token(accelerator_token(accelerator), images_token(images))
+
+
+def _through_cache(
+    cache: Optional[EvalCache],
+    domain: str,
+    context: str,
+    config: Configuration,
+    compute,
+) -> EvaluatedConfiguration:
+    """Evaluate one configuration via the cache when one is available.
+
+    ``compute`` returns a ``(quality, cost)`` pair; the cached payload is the
+    JSON-able ``{"quality", "cost"}`` dictionary so disk backends work.
+    """
+    key = None
+    if cache is not None:
+        key = cache_key(
+            domain, context, configuration_token(config.multiplier_indices, config.adder_indices)
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            return EvaluatedConfiguration(
+                config=config,
+                quality=float(hit["quality"]),
+                cost={name: float(value) for name, value in hit["cost"].items()},
+            )
+    quality, cost = compute()
+    if cache is not None:
+        cache.put(key, {"quality": quality, "cost": dict(cost)})
+    return EvaluatedConfiguration(config=config, quality=quality, cost=cost)
+
+
+def _cached_exact_evaluation(
+    accelerator: GaussianFilterAccelerator,
+    images: Sequence[np.ndarray],
+    config: Configuration,
+    cache: Optional[EvalCache],
+    context: str,
+) -> EvaluatedConfiguration:
+    """Exactly evaluate one configuration, via the cache when available."""
+    return _through_cache(
+        cache,
+        "axq",
+        context,
+        config,
+        lambda: (accelerator.quality(images, config), accelerator.hw_cost(config)),
+    )
+
+
 def random_search(
     accelerator: GaussianFilterAccelerator,
     images: Sequence[np.ndarray],
     num_samples: int,
     seed: int = 23,
+    cache: Optional[EvalCache] = None,
 ) -> List[EvaluatedConfiguration]:
     """Exactly evaluate ``num_samples`` uniformly random configurations."""
     rng = np.random.default_rng(seed)
+    context = _exact_context(accelerator, images)
     results: List[EvaluatedConfiguration] = []
     for _ in range(num_samples):
         config = accelerator.random_configuration(rng)
-        results.append(
-            EvaluatedConfiguration(
-                config=config,
-                quality=accelerator.quality(images, config),
-                cost=accelerator.hw_cost(config),
-            )
-        )
+        results.append(_cached_exact_evaluation(accelerator, images, config, cache, context))
     return results
 
 
@@ -70,6 +138,7 @@ def hill_climb_pareto(
     iterations: int = 400,
     archive_limit: int = 64,
     seed: int = 31,
+    cache: Optional[EvalCache] = None,
 ) -> List[EvaluatedConfiguration]:
     """Estimator-driven Pareto-archive hill climbing.
 
@@ -81,12 +150,22 @@ def hill_climb_pareto(
     """
     rng = np.random.default_rng(seed)
     parameter = hw_estimator.parameter
+    # Estimator tokens version the fitted state; estimators without one get a
+    # run-unique token so foreign objects can never share stale estimates.
+    context = blake_token(
+        accelerator_token(accelerator),
+        getattr(qor_estimator, "cache_token", None) or f"anon-qor-{uuid.uuid4().hex}",
+        getattr(hw_estimator, "cache_token", None) or f"anon-hw-{uuid.uuid4().hex}",
+    )
 
-    def evaluate(config: Configuration) -> EvaluatedConfiguration:
+    def estimate(config: Configuration):
         quality = float(np.clip(qor_estimator.estimate(accelerator, config), 0.0, 1.0))
         cost = dict(accelerator.hw_cost(config))
         cost[parameter] = hw_estimator.estimate(accelerator, config)
-        return EvaluatedConfiguration(config=config, quality=quality, cost=cost)
+        return quality, cost
+
+    def evaluate(config: Configuration) -> EvaluatedConfiguration:
+        return _through_cache(cache, "axe", context, config, lambda: estimate(config))
 
     archive = [evaluate(accelerator.random_configuration(rng)) for _ in range(8)]
     archive = _non_dominated(archive, parameter)
@@ -109,15 +188,11 @@ def exact_reevaluation(
     accelerator: GaussianFilterAccelerator,
     images: Sequence[np.ndarray],
     candidates: Sequence[EvaluatedConfiguration],
+    cache: Optional[EvalCache] = None,
 ) -> List[EvaluatedConfiguration]:
     """Replace estimated quality/cost of candidates with exact measurements."""
-    results = []
-    for candidate in candidates:
-        results.append(
-            EvaluatedConfiguration(
-                config=candidate.config,
-                quality=accelerator.quality(images, candidate.config),
-                cost=accelerator.hw_cost(candidate.config),
-            )
-        )
-    return results
+    context = _exact_context(accelerator, images)
+    return [
+        _cached_exact_evaluation(accelerator, images, candidate.config, cache, context)
+        for candidate in candidates
+    ]

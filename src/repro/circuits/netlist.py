@@ -11,12 +11,17 @@ passes.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .gates import GATE_ARITY, GateType
+
+#: Version tag mixed into every structural fingerprint so cached evaluation
+#: results are invalidated if the hashing scheme ever changes.
+_FINGERPRINT_VERSION = b"nl-fp-v1"
 
 
 @dataclass(frozen=True)
@@ -200,6 +205,46 @@ class Netlist:
         """Number of gates reachable from the outputs (dead logic excluded)."""
         mask = self.transitive_fanin()
         return int(mask[self.num_inputs:].sum())
+
+    # ------------------------------------------------------------------ #
+    # Structural identity
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Stable content hash of the circuit *structure*.
+
+        Two netlists share a fingerprint exactly when they have the same
+        input-word layout, the same output-bit wiring and the same gate list
+        (types and operand ids).  ``name``, ``kind`` and ``meta`` are
+        deliberately excluded: they do not affect the computed function or
+        any cost model, so structurally identical circuits can share cached
+        evaluation results regardless of how they were generated or named.
+
+        The digest is cached on the instance; netlists are treated as
+        immutable once built (all transformations return copies), so the
+        cache is never invalidated.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        digest = hashlib.blake2b(_FINGERPRINT_VERSION, digest_size=20)
+        for word in sorted(self.input_words):
+            bits = self.input_words[word]
+            digest.update(b"w")
+            digest.update(word.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(np.asarray(bits, dtype=np.int64).tobytes())
+        digest.update(b"o")
+        digest.update(np.asarray(self.output_bits, dtype=np.int64).tobytes())
+        digest.update(b"g")
+        if self.gates:
+            table = np.array(
+                [(int(g.gate_type.value), g.a, g.b) for g in self.gates],
+                dtype=np.int64,
+            )
+            digest.update(table.tobytes())
+        value = digest.hexdigest()
+        self.__dict__["_fingerprint"] = value
+        return value
 
     # ------------------------------------------------------------------ #
     # Transformations

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..asic import AsicSynthesizer
+from ..engine import BatchEvaluator
 from ..error import ErrorEvaluator
 from ..features import feature_matrix
 from ..fpga import FPGA_PARAMETERS, FpgaSynthesizer, estimate_synthesis_time
@@ -83,6 +84,7 @@ class ApproxFpgasFlow:
         fpga_synthesizer: Optional[FpgaSynthesizer] = None,
         asic_synthesizer: Optional[AsicSynthesizer] = None,
         error_evaluator: Optional[ErrorEvaluator] = None,
+        engine: Optional[BatchEvaluator] = None,
     ):
         if len(library) == 0:
             raise ValueError("the circuit library is empty")
@@ -91,6 +93,14 @@ class ApproxFpgasFlow:
         self.fpga = fpga_synthesizer or FpgaSynthesizer()
         self.asic = asic_synthesizer or AsicSynthesizer()
         self.error_evaluator = error_evaluator or ErrorEvaluator(library.reference())
+        # All circuit evaluation (error metrics, ASIC cost models, FPGA
+        # synthesis) is routed through one engine so structurally identical
+        # circuits and repeated flow stages share cached results.
+        self.engine = engine or BatchEvaluator(
+            error_evaluator=self.error_evaluator,
+            asic_synthesizer=self.asic,
+            fpga_synthesizer=self.fpga,
+        )
 
     # ------------------------------------------------------------------ #
     # Individual stages (public so benchmarks and ablations can reuse them)
@@ -98,13 +108,14 @@ class ApproxFpgasFlow:
     def build_records(self) -> Tuple[Dict[str, CircuitRecord], np.ndarray, List[str]]:
         """Stage 1-2: error metrics, ASIC reports and feature vectors for the library."""
         circuits = list(self.library)
-        asic_reports = [self.asic.synthesize(circuit) for circuit in circuits]
+        error_reports = self.engine.evaluate_errors(circuits)
+        asic_reports = self.engine.evaluate_asic(circuits)
         features, feature_names = feature_matrix(circuits, asic_reports=asic_reports)
         records: Dict[str, CircuitRecord] = {}
         for index, circuit in enumerate(circuits):
             records[circuit.name] = CircuitRecord(
                 name=circuit.name,
-                error=self.error_evaluator.evaluate(circuit),
+                error=error_reports[index],
                 asic=asic_reports[index],
                 features=features[index],
             )
@@ -135,9 +146,9 @@ class ApproxFpgasFlow:
         # --- Stage 3: synthesize the training subset -------------------- #
         subset_names = self.select_training_subset()
         training_time_s = 0.0
-        for name in subset_names:
-            circuit = self.library.get(name)
-            records[name].fpga = self.fpga.synthesize(circuit)
+        subset_circuits = [self.library.get(name) for name in subset_names]
+        for circuit, report in zip(subset_circuits, self.engine.evaluate_fpga(subset_circuits)):
+            records[circuit.name].fpga = report
             training_time_s += estimate_synthesis_time(circuit, self.fpga.device)
 
         # --- Stage 4: train and validate the model zoo ------------------ #
@@ -224,12 +235,14 @@ class ApproxFpgasFlow:
 
         # --- Stage 7: re-synthesize the selected candidates -------------- #
         for parameter, candidate_names in candidate_union.items():
-            for name in candidate_names:
-                record = records[name]
-                if record.fpga is None:
-                    circuit = self.library.get(name)
-                    record.fpga = self.fpga.synthesize(circuit)
-                    resynthesis_time_s += estimate_synthesis_time(circuit, self.fpga.device)
+            pending = [
+                self.library.get(name)
+                for name in candidate_names
+                if records[name].fpga is None
+            ]
+            for circuit, report in zip(pending, self.engine.evaluate_fpga(pending)):
+                records[circuit.name].fpga = report
+                resynthesis_time_s += estimate_synthesis_time(circuit, self.fpga.device)
 
         # --- Stage 8: measured Pareto fronts over the synthesized set ---- #
         flow_synthesized = {name for name, record in records.items() if record.synthesized}
@@ -251,16 +264,15 @@ class ApproxFpgasFlow:
                 sum(estimate_synthesis_time(circuit, self.fpga.device) for circuit in self.library)
             ),
             training_time_s=training_time_s,
-            reSynthesis_time_s=resynthesis_time_s,
+            resynthesis_time_s=resynthesis_time_s,
             model_time_s=model_time_s,
         )
 
         # --- Stage 9 (evaluation only): oracle Pareto front & coverage --- #
         if config.evaluate_coverage:
-            for name in names:
-                record = records[name]
-                if record.fpga is None:
-                    record.fpga = self.fpga.synthesize(self.library.get(name))
+            missing = [self.library.get(name) for name in names if records[name].fpga is None]
+            for circuit, report in zip(missing, self.engine.evaluate_fpga(missing)):
+                records[circuit.name].fpga = report
             for parameter, outcome in parameter_outcomes.items():
                 points = np.column_stack(
                     [

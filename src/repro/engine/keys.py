@@ -1,0 +1,64 @@
+"""Cache-key construction for the evaluation engine.
+
+Every cached value is addressed by ``"<domain>:<context>:<subject>"``:
+
+* the *domain* names what was computed (``err``, ``asic``, ``fpga``,
+  ``axq`` for exact accelerator evaluations, ``axe`` for estimated ones),
+* the *context* is a digest of everything the computation depends on besides
+  the subject itself (the golden reference, sampling seeds, synthesizer
+  settings, image sets, ...),
+* the *subject* identifies what was evaluated (a netlist fingerprint or an
+  accelerator configuration).
+
+Keeping the context explicit makes the cache safe to share across whole
+flows and across processes: two evaluations collide only when they would
+genuinely produce the same bits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def blake_token(*parts: object) -> str:
+    """Short stable digest of a heterogeneous tuple of hashable-ish parts.
+
+    Parts are rendered to bytes: ``bytes`` pass through, ``numpy`` arrays
+    contribute shape + dtype + raw data, everything else goes through
+    ``repr``.  A type marker and a separator are mixed in per part so that
+    e.g. ``("ab", "c")`` and ``("a", "bc")`` cannot collide.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        if isinstance(part, bytes):
+            digest.update(b"b")
+            digest.update(part)
+        elif isinstance(part, np.ndarray):
+            digest.update(b"a")
+            digest.update(repr((part.shape, str(part.dtype))).encode("utf-8"))
+            digest.update(np.ascontiguousarray(part).tobytes())
+        else:
+            digest.update(b"r")
+            digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+def cache_key(domain: str, context: str, subject: str) -> str:
+    """Assemble the canonical three-part cache key."""
+    return f"{domain}:{context}:{subject}"
+
+
+def images_token(images: Iterable[np.ndarray]) -> str:
+    """Digest of an image set (used to contextualise accelerator quality)."""
+    return blake_token(*[np.asarray(image) for image in images])
+
+
+def configuration_token(multiplier_indices: Sequence[int], adder_indices: Sequence[int]) -> str:
+    """Compact subject token for an accelerator configuration."""
+    m = ",".join(str(int(i)) for i in multiplier_indices)
+    a = ",".join(str(int(i)) for i in adder_indices)
+    return f"m{m}|a{a}"

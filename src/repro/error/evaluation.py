@@ -82,6 +82,25 @@ class ErrorEvaluator:
     def num_patterns(self) -> int:
         return int(len(self._exact_outputs))
 
+    @property
+    def operands(self):
+        """The shared operand vectors every circuit is evaluated on."""
+        return self._operands
+
+    @property
+    def exact_outputs(self) -> np.ndarray:
+        """Reference output word for the shared operands."""
+        return self._exact_outputs
+
+    @property
+    def max_output(self) -> int:
+        """Maximum representable output value (normalises MED / relative WCE)."""
+        return self._max_output
+
+    def check_interface(self, circuit: Netlist) -> None:
+        """Validate that ``circuit`` has the reference's word-level interface."""
+        self._check_interface(circuit)
+
     def _check_interface(self, circuit: Netlist) -> None:
         if set(circuit.input_words) != set(self.reference.input_words):
             raise ValueError(

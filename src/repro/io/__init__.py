@@ -1,6 +1,7 @@
 """Persistence and export helpers."""
 
 from .persistence import (
+    JsonDirectoryStore,
     export_library,
     export_pareto_rtl,
     library_catalog,
@@ -10,6 +11,7 @@ from .persistence import (
 )
 
 __all__ = [
+    "JsonDirectoryStore",
     "export_library",
     "export_pareto_rtl",
     "library_catalog",

@@ -9,15 +9,82 @@ tooling (or a later session) does not have to re-run synthesis.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import uuid
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from ..circuits import to_verilog
 from ..core.results import ApproxFpgasResult
 from ..generators import CircuitLibrary
 
 PathLike = Union[str, Path]
+
+
+class JsonDirectoryStore:
+    """A directory of JSON files acting as a key -> value mapping.
+
+    This is the on-disk backend of :class:`repro.engine.EvalCache`: each
+    entry is one small JSON file named after a hash of its key, so arbitrary
+    keys (cache keys embed colons and hex fingerprints) map to safe file
+    names.  The original key is stored inside the file and checked on load,
+    which turns the astronomically unlikely hash collision into a miss
+    instead of silently returning the wrong payload.
+    """
+
+    def __init__(self, directory: PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        token = hashlib.blake2b(key.encode("utf-8"), digest_size=20).hexdigest()
+        return self.directory / f"{token}.json"
+
+    def get(self, key: str) -> Optional[object]:
+        path = self._path(key)
+        if not path.is_file():
+            return None
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if entry.get("key") != key:
+            return None
+        return entry.get("value")
+
+    def put(self, key: str, value: object) -> None:
+        path = self._path(key)
+        payload = json.dumps({"key": key, "value": value})
+        # Unique temp name per writer: concurrent processes sharing one cache
+        # directory must not clobber each other's half-written files before
+        # the atomic rename.
+        temporary = path.with_suffix(f".{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+        try:
+            temporary.write_text(payload, encoding="utf-8")
+            temporary.replace(path)
+        finally:
+            temporary.unlink(missing_ok=True)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def keys(self) -> Iterator[str]:
+        for path in self.directory.glob("*.json"):
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if "key" in entry:
+                yield entry["key"]
+
+    def clear(self) -> None:
+        for path in self.directory.glob("*.json"):
+            path.unlink(missing_ok=True)
 
 
 def library_catalog(library: CircuitLibrary) -> Dict[str, object]:

@@ -65,3 +65,38 @@ def asic_synth():
 @pytest.fixture(scope="session")
 def multiplier4_evaluator(small_multiplier_library):
     return ErrorEvaluator(small_multiplier_library.reference())
+
+
+@pytest.fixture(scope="session")
+def autoax_searchables():
+    """A small accelerator plus fitted estimators for search-level tests.
+
+    Narrow (4-bit multiplier / 8-bit adder) components keep the behavioural
+    evaluation fast; the search machinery is width-agnostic.
+    """
+    from types import SimpleNamespace
+
+    from repro.autoax import (
+        GaussianFilterAccelerator,
+        HwCostEstimator,
+        QorEstimator,
+        collect_training_samples,
+        components_from_library,
+        default_image_set,
+    )
+
+    multipliers = components_from_library(
+        build_multiplier_library(4, size=20, seed=2), 4, max_error=0.2
+    )
+    adders = components_from_library(
+        build_adder_library(8, size=16, seed=4), 3, max_error=0.1
+    )
+    accelerator = GaussianFilterAccelerator(multipliers, adders)
+    images = default_image_set(24)[:2]
+    samples = collect_training_samples(accelerator, images, 12, seed=17)
+    return SimpleNamespace(
+        accelerator=accelerator,
+        images=images,
+        qor=QorEstimator().fit(samples),
+        hw=HwCostEstimator("area").fit(samples),
+    )

@@ -159,7 +159,7 @@ def test_exploration_cost_accounting():
         num_circuits=100,
         exhaustive_time_s=1000.0,
         training_time_s=80.0,
-        reSynthesis_time_s=15.0,
+        resynthesis_time_s=15.0,
         model_time_s=5.0,
     )
     assert cost.approxfpgas_time_s == pytest.approx(100.0)
@@ -176,7 +176,7 @@ def test_exploration_summary_cumulative_rows():
                 num_circuits=10,
                 exhaustive_time_s=100.0,
                 training_time_s=10.0,
-                reSynthesis_time_s=0.0,
+                resynthesis_time_s=0.0,
                 model_time_s=0.0,
             )
         )
