@@ -11,7 +11,6 @@ Two ablations on the 8x8 multiplier library:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core import ApproxFpgasConfig, ApproxFpgasFlow, fidelity
 from repro.features import ASIC_FEATURE_NAMES, STRUCTURAL_FEATURE_NAMES, feature_matrix

@@ -11,7 +11,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.error import ErrorEvaluator
 from repro.features import feature_matrix
 from repro.fpga import FPGA_PARAMETERS
 from repro.ml import build_model, pearson_correlation, train_test_split

@@ -4,14 +4,26 @@
 Nine Pareto-optimal approximate 8x8 multipliers and eight approximate 16-bit
 adders (as in the paper) are fed to the AutoAx-FPGA flow, which searches the
 ~1e14-configuration design space with estimator-driven hill climbing and
-compares the result against random search.
+compares the result against random search.  The flow runs as a staged
+pipeline inside an :class:`repro.api.ExplorationSession`, so exact
+evaluations are shared between scenarios through the session cache and the
+search strategy is picked from the :data:`repro.autoax.SEARCH_STRATEGIES`
+registry (``"hill_climb"`` here; try ``"random_archive"`` for the
+mutation-free ablation).
 
 Run with:  python examples/autoax_gaussian_filter.py
+
+Back-compat note: the legacy entry point is still supported and produces
+bit-identical seeded results --
+
+    from repro.autoax import AutoAxConfig, AutoAxFpgaFlow
+    result = AutoAxFpgaFlow(multipliers, adders, config=config).run()
 """
 
 from __future__ import annotations
 
-from repro.autoax import AutoAxConfig, AutoAxFpgaFlow, components_from_library
+from repro.api import ExplorationSession
+from repro.autoax import AutoAxConfig, components_from_library
 from repro.generators import build_adder_library, build_multiplier_library
 
 
@@ -31,9 +43,18 @@ def main() -> None:
         hill_climb_iterations=250,
         image_size=48,
         seed=17,
+        search_strategy="hill_climb",   # a repro.autoax.SEARCH_STRATEGIES key
     )
+    session = ExplorationSession(seed=config.seed)
+
     print("\nRunning AutoAx-FPGA (QoR estimator + hill climbing per FPGA parameter) ...")
-    result = AutoAxFpgaFlow(multipliers, adders, config=config).run()
+
+    def report(event) -> None:
+        if event.status != "started":
+            print(f"  [{event.index + 1}/{event.total}] {event.stage:<20} "
+                  f"{event.status} ({event.elapsed_s:.2f} s)")
+
+    result = session.run_autoax(multipliers, adders, config, progress=report)
 
     print(f"\ndesign space: {result.design_space_size:.2e} configurations")
     print(f"exactly evaluated: {result.training_size} training + "
@@ -48,6 +69,10 @@ def main() -> None:
         print("  Pareto-front configurations (cost, SSIM):")
         for entry in sorted(scenario.front, key=lambda e: e.cost[parameter])[:6]:
             print(f"    {parameter}={entry.cost[parameter]:8.2f}   SSIM={entry.quality:.4f}")
+
+    stats = session.stats()
+    print(f"\nShared evaluation cache: {stats.lookups} lookups, "
+          f"{stats.hit_rate:.0%} served from cache")
 
 
 if __name__ == "__main__":

@@ -1,17 +1,27 @@
 #!/usr/bin/env python3
 """Quickstart: run the ApproxFPGAs methodology on a small multiplier library.
 
-The script builds a library of 8x8 approximate multipliers, runs the full
-ML-driven exploration flow (synthesize a subset, train the Table I models,
-build pseudo-Pareto fronts, re-synthesize the candidates) and prints the
-resulting Pareto-optimal FPGA approximate circuits.
+The script builds a library of 8x8 approximate multipliers and drives the
+full ML-driven exploration flow (synthesize a subset, train the Table I
+models, build pseudo-Pareto fronts, re-synthesize the candidates) through an
+:class:`repro.api.ExplorationSession` -- the public stage-pipeline API that
+owns the shared evaluation cache, reports per-stage progress and, when a
+``workspace`` directory is passed, checkpoints every stage so an interrupted
+run resumes where it left off.
 
 Run with:  python examples/quickstart.py
+
+Back-compat note: the legacy entry points are still supported and produce
+bit-identical seeded results --
+
+    from repro.core import ApproxFpgasConfig, ApproxFpgasFlow
+    result = ApproxFpgasFlow(library, config=config).run()
 """
 
 from __future__ import annotations
 
-from repro.core import ApproxFpgasConfig, ApproxFpgasFlow
+from repro.api import ExplorationSession
+from repro.core import ApproxFpgasConfig
 from repro.generators import build_multiplier_library
 
 
@@ -29,8 +39,19 @@ def main() -> None:
         evaluate_coverage=True,     # also synthesize everything to measure coverage
     )
 
-    print("Running the ApproxFPGAs flow ...")
-    result = ApproxFpgasFlow(library, config=config).run()
+    # One session owns the evaluation cache, the synthesizers and the RNG
+    # seeding; pass workspace="runs/quickstart" to checkpoint every stage
+    # and make the run resumable.
+    session = ExplorationSession(seed=config.seed)
+
+    print("Running the ApproxFPGAs flow (staged pipeline) ...")
+
+    def report(event) -> None:
+        if event.status != "started":
+            print(f"  [{event.index + 1}/{event.total}] {event.stage:<28} "
+                  f"{event.status} ({event.elapsed_s:.2f} s)")
+
+    result = session.run_approxfpgas(library, config, progress=report)
 
     print("\nTop models per FPGA parameter (validation fidelity):")
     for parameter in ("latency", "power", "area"):
@@ -53,6 +74,10 @@ def main() -> None:
         )
     print(f"\nCoverage of the true Pareto front: "
           + ", ".join(f"{p}={o.coverage:.0%}" for p, o in result.parameter_outcomes.items()))
+
+    stats = session.stats()
+    print(f"\nShared evaluation cache: {stats.lookups} lookups, "
+          f"{stats.hit_rate:.0%} served from cache")
 
 
 if __name__ == "__main__":

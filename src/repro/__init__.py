@@ -10,7 +10,34 @@ The package is organised as the paper's system diagram (Fig. 2):
 * :mod:`repro.features` / :mod:`repro.ml` -- feature extraction and the Table I model zoo,
 * :mod:`repro.core` -- fidelity, Pareto machinery and the end-to-end flow,
 * :mod:`repro.engine` -- the parallel cached evaluation engine (see below),
+* :mod:`repro.api` -- the public session / pipeline / registry API (see below),
 * :mod:`repro.autoax` -- the AutoAx-FPGA Gaussian-filter case study.
+
+Public API
+----------
+New code should drive the flows through :mod:`repro.api`:
+
+* :class:`repro.api.ExplorationSession` owns the evaluation cache and
+  engines, the synthesis substrates, RNG seeding and an artifact store
+  shared across ApproxFPGAs and AutoAx runs.  ``session.run_approxfpgas``
+  and ``session.run_autoax`` execute the flows as named stage pipelines
+  with per-stage timing and progress callbacks; with a ``workspace``
+  directory attached, every completed stage is checkpointed and an
+  interrupted run resumes from the last completed stage.
+* :class:`repro.api.Pipeline` / :class:`repro.api.Stage` are the underlying
+  staged-flow machinery (stage decompositions live in
+  :mod:`repro.core.stages` and :mod:`repro.autoax.stages`).
+* The plugin registries -- :data:`repro.ml.MODELS`,
+  :data:`repro.error.ERROR_METRICS`, :data:`repro.api.SYNTHESIZERS` and
+  :data:`repro.autoax.SEARCH_STRATEGIES` -- are string-keyed extension
+  points; new models, error metrics, substrates and search strategies plug
+  in by registering a key instead of editing flow internals.  Unknown keys
+  raise :class:`repro.registry.RegistryError` listing the available keys.
+
+The historical entry points (:class:`repro.core.ApproxFpgasFlow`,
+:func:`repro.core.run_approxfpgas`, :class:`repro.autoax.AutoAxFpgaFlow`)
+remain supported as thin wrappers over the same stages; their seeded
+results are bit-identical to the original monolithic flows.
 
 Evaluation engine
 -----------------
@@ -30,22 +57,45 @@ cost models of whole circuit libraries -- is served by :mod:`repro.engine`:
   over a :class:`~concurrent.futures.ProcessPoolExecutor` -- while staying
   bit-identical to the serial per-circuit path.
 
-:class:`~repro.core.ApproxFpgasFlow`, the AutoAx-FPGA search strategies and
-:func:`repro.autoax.components_from_library` all route their evaluations
-through one engine, so cache hits are shared across every stage of a flow
-(and across flows, when an explicit cache is passed).
+All flows route their evaluations through one engine, so cache hits are
+shared across every stage of a flow -- and across flows, when runs share an
+:class:`repro.api.ExplorationSession`.
 """
 
+from .api import (
+    ERROR_METRICS,
+    MODELS,
+    SYNTHESIZERS,
+    ExplorationSession,
+    Pipeline,
+    PipelineRun,
+    Registry,
+    RegistryError,
+    Stage,
+    StageEvent,
+)
+from .autoax.search import SEARCH_STRATEGIES
 from .core import ApproxFpgasConfig, ApproxFpgasFlow, run_approxfpgas
 from .engine import BatchEvaluator, EvalCache
 from .generators import CircuitLibrary, build_adder_library, build_multiplier_library
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ApproxFpgasConfig",
     "ApproxFpgasFlow",
     "run_approxfpgas",
+    "ExplorationSession",
+    "Pipeline",
+    "PipelineRun",
+    "Stage",
+    "StageEvent",
+    "Registry",
+    "RegistryError",
+    "MODELS",
+    "ERROR_METRICS",
+    "SYNTHESIZERS",
+    "SEARCH_STRATEGIES",
     "BatchEvaluator",
     "EvalCache",
     "CircuitLibrary",

@@ -1,0 +1,67 @@
+"""Public composable API: sessions, stage pipelines and plugin registries.
+
+This package is the recommended entry point for new code:
+
+* :class:`ExplorationSession` -- a facade owning the evaluation cache,
+  engines, synthesizers, RNG seeding and the artifact store shared across
+  ApproxFPGAs and AutoAx runs;
+* :class:`Pipeline` / :class:`Stage` -- the staged-flow machinery with
+  per-stage timing, progress callbacks and checkpoint/resume via
+  :class:`repro.io.JsonDirectoryStore`;
+* the plugin registries (:data:`MODELS`, :data:`ERROR_METRICS`,
+  :data:`SYNTHESIZERS`, :data:`SEARCH_STRATEGIES`) through which new
+  models, metrics, substrates and searches plug in without editing flow
+  internals.
+
+The legacy entry points (:class:`repro.core.ApproxFpgasFlow`,
+:func:`repro.core.run_approxfpgas`, :class:`repro.autoax.AutoAxFpgaFlow`)
+remain supported thin wrappers over the same stages.
+"""
+
+from .pipeline import (
+    FunctionStage,
+    Pipeline,
+    PipelineError,
+    PipelineRun,
+    Stage,
+    StageEvent,
+    StageRecord,
+)
+from .registries import (
+    ERROR_METRICS,
+    MODELS,
+    SYNTHESIZERS,
+    Registry,
+    RegistryError,
+    resolve_synthesizer,
+)
+from .session import ExplorationSession
+
+__all__ = [
+    "ExplorationSession",
+    "FunctionStage",
+    "Pipeline",
+    "PipelineError",
+    "PipelineRun",
+    "Stage",
+    "StageEvent",
+    "StageRecord",
+    "Registry",
+    "RegistryError",
+    "MODELS",
+    "ERROR_METRICS",
+    "SYNTHESIZERS",
+    "SEARCH_STRATEGIES",
+    "resolve_synthesizer",
+]
+
+
+def __getattr__(name):
+    # SEARCH_STRATEGIES lives in repro.autoax.search, which transitively
+    # imports repro.core; importing it lazily keeps repro.api importable
+    # from inside the core package without a cycle.
+    if name == "SEARCH_STRATEGIES":
+        from ..autoax.search import SEARCH_STRATEGIES
+
+        return SEARCH_STRATEGIES
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -28,12 +28,15 @@ from .estimators import (
     configuration_features,
 )
 from .search import (
+    SEARCH_STRATEGIES,
     EvaluatedConfiguration,
     exact_reevaluation,
     hill_climb_pareto,
+    random_archive,
     random_search,
 )
-from .flow import AutoAxConfig, AutoAxFpgaFlow, AutoAxResult, ScenarioResult
+from .flow import AutoAxConfig, AutoAxFlow, AutoAxFpgaFlow, AutoAxResult, ScenarioResult
+from .stages import AutoAxState, autoax_stages, build_autoax_result, run_autoax_pipeline
 
 __all__ = [
     "blob_image",
@@ -59,12 +62,19 @@ __all__ = [
     "TrainingSample",
     "collect_training_samples",
     "configuration_features",
+    "SEARCH_STRATEGIES",
     "EvaluatedConfiguration",
     "exact_reevaluation",
     "hill_climb_pareto",
+    "random_archive",
     "random_search",
     "AutoAxConfig",
+    "AutoAxFlow",
     "AutoAxFpgaFlow",
     "AutoAxResult",
     "ScenarioResult",
+    "AutoAxState",
+    "autoax_stages",
+    "build_autoax_result",
+    "run_autoax_pipeline",
 ]

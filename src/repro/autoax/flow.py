@@ -14,23 +14,16 @@ ApproxFPGAs methodology (9 multipliers and 8 adders in the paper), the flow:
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.pareto import hypervolume_2d, pareto_front_indices
 from ..engine import EvalCache
-from .accelerator import ApproxComponent, Configuration, GaussianFilterAccelerator
-from .estimators import HwCostEstimator, QorEstimator, collect_training_samples
+from .accelerator import ApproxComponent, GaussianFilterAccelerator
 from .images import default_image_set
-from .search import (
-    EvaluatedConfiguration,
-    exact_reevaluation,
-    hill_climb_pareto,
-    random_search,
-)
+from .search import SEARCH_STRATEGIES, EvaluatedConfiguration
 
 
 @dataclass
@@ -43,12 +36,20 @@ class AutoAxConfig:
     hill_climb_iterations: int = 300
     image_size: int = 48
     seed: int = 17
+    search_strategy: str = "hill_climb"
+    """Key into :data:`repro.autoax.SEARCH_STRATEGIES` selecting how the
+    candidate configurations are searched per scenario."""
 
     def __post_init__(self) -> None:
         if self.num_training_samples < 2:
             raise ValueError("num_training_samples must be at least 2")
         if self.num_random_baseline < 1:
             raise ValueError("num_random_baseline must be at least 1")
+        if self.search_strategy not in SEARCH_STRATEGIES:
+            raise ValueError(
+                f"unknown search strategy {self.search_strategy!r}; "
+                f"available: {SEARCH_STRATEGIES.keys()}"
+            )
 
 
 @dataclass
@@ -105,7 +106,14 @@ class AutoAxResult:
 
 
 class AutoAxFpgaFlow:
-    """Orchestrates the AutoAx-FPGA case study."""
+    """Backwards-compatible facade over the staged AutoAx-FPGA pipeline.
+
+    The constructor signature and :meth:`run` are unchanged from the
+    original monolithic implementation, and seeded results are
+    bit-identical; the work is delegated to the :mod:`repro.autoax.stages`
+    pipeline.  New code that wants shared caches, checkpointing or progress
+    callbacks should use :class:`repro.api.ExplorationSession` instead.
+    """
 
     def __init__(
         self,
@@ -125,51 +133,21 @@ class AutoAxFpgaFlow:
 
     def run(self) -> AutoAxResult:
         """Execute the case study and return the per-scenario results."""
-        config = self.config
-        start = time.perf_counter()
+        import time
 
-        samples = collect_training_samples(
-            self.accelerator, self.images, config.num_training_samples, seed=config.seed
-        )
-        qor_estimator = QorEstimator().fit(samples)
+        from .stages import AutoAxState, autoax_stages, build_autoax_result
 
-        scenarios: Dict[str, ScenarioResult] = {}
-        for offset, parameter in enumerate(config.parameters):
-            hw_estimator = HwCostEstimator(parameter).fit(samples)
-            candidates = hill_climb_pareto(
-                self.accelerator,
-                qor_estimator,
-                hw_estimator,
-                iterations=config.hill_climb_iterations,
-                seed=config.seed + 100 + offset,
-                cache=self.cache,
-            )
-            evaluated = exact_reevaluation(
-                self.accelerator, self.images, candidates, cache=self.cache
-            )
-            points = np.array(
-                [[entry.cost[parameter], 1.0 - entry.quality] for entry in evaluated]
-            )
-            front_indices = pareto_front_indices(points) if len(evaluated) else []
-            scenarios[parameter] = ScenarioResult(
-                parameter=parameter,
-                candidates=evaluated,
-                front=[evaluated[i] for i in front_indices],
-                num_candidates=len(evaluated),
-            )
-
-        baseline = random_search(
-            self.accelerator,
-            self.images,
-            config.num_random_baseline,
-            seed=config.seed + 999,
+        state = AutoAxState(
+            accelerator=self.accelerator,
+            images=self.images,
+            config=self.config,
             cache=self.cache,
         )
+        start = time.perf_counter()
+        for stage in autoax_stages(self.config):
+            stage.absorb(state, stage.compute(state))
+        return build_autoax_result(state, time.perf_counter() - start)
 
-        return AutoAxResult(
-            scenarios=scenarios,
-            baseline=baseline,
-            design_space_size=self.accelerator.design_space_size,
-            runtime_s=time.perf_counter() - start,
-            training_size=len(samples),
-        )
+
+#: Short alias used throughout the documentation.
+AutoAxFlow = AutoAxFpgaFlow

@@ -25,8 +25,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..engine import EvalCache, blake_token, cache_key, configuration_token, images_token
+from ..registry import Registry
 from .accelerator import Configuration, GaussianFilterAccelerator
 from .estimators import HwCostEstimator, QorEstimator
+
+#: Registry of configuration-space search strategies.  Each entry is a
+#: callable ``(accelerator, qor_estimator, hw_estimator, *, iterations,
+#: seed, cache) -> List[EvaluatedConfiguration]`` returning the estimated
+#: Pareto-optimal candidates; :class:`~repro.autoax.flow.AutoAxFpgaFlow`
+#: resolves ``AutoAxConfig.search_strategy`` here, so new searches plug in
+#: by registering a key.
+SEARCH_STRATEGIES = Registry("search strategy")
 
 
 @dataclass
@@ -131,6 +140,46 @@ def random_search(
     return results
 
 
+def _estimator_context(
+    accelerator: GaussianFilterAccelerator,
+    qor_estimator: QorEstimator,
+    hw_estimator: HwCostEstimator,
+) -> str:
+    """Cache context of estimated evaluations, versioned by the fitted state.
+
+    Estimators without a ``cache_token`` get a run-unique token so foreign
+    objects can never share stale estimates.
+    """
+    return blake_token(
+        accelerator_token(accelerator),
+        getattr(qor_estimator, "cache_token", None) or f"anon-qor-{uuid.uuid4().hex}",
+        getattr(hw_estimator, "cache_token", None) or f"anon-hw-{uuid.uuid4().hex}",
+    )
+
+
+def _estimated_evaluator(
+    accelerator: GaussianFilterAccelerator,
+    qor_estimator: QorEstimator,
+    hw_estimator: HwCostEstimator,
+    cache: Optional[EvalCache],
+):
+    """A ``config -> EvaluatedConfiguration`` closure scoring via the estimators."""
+    parameter = hw_estimator.parameter
+    context = _estimator_context(accelerator, qor_estimator, hw_estimator)
+
+    def estimate(config: Configuration):
+        quality = float(np.clip(qor_estimator.estimate(accelerator, config), 0.0, 1.0))
+        cost = dict(accelerator.hw_cost(config))
+        cost[parameter] = hw_estimator.estimate(accelerator, config)
+        return quality, cost
+
+    def evaluate(config: Configuration) -> EvaluatedConfiguration:
+        return _through_cache(cache, "axe", context, config, lambda: estimate(config))
+
+    return evaluate
+
+
+@SEARCH_STRATEGIES.register("hill_climb")
 def hill_climb_pareto(
     accelerator: GaussianFilterAccelerator,
     qor_estimator: QorEstimator,
@@ -150,22 +199,7 @@ def hill_climb_pareto(
     """
     rng = np.random.default_rng(seed)
     parameter = hw_estimator.parameter
-    # Estimator tokens version the fitted state; estimators without one get a
-    # run-unique token so foreign objects can never share stale estimates.
-    context = blake_token(
-        accelerator_token(accelerator),
-        getattr(qor_estimator, "cache_token", None) or f"anon-qor-{uuid.uuid4().hex}",
-        getattr(hw_estimator, "cache_token", None) or f"anon-hw-{uuid.uuid4().hex}",
-    )
-
-    def estimate(config: Configuration):
-        quality = float(np.clip(qor_estimator.estimate(accelerator, config), 0.0, 1.0))
-        cost = dict(accelerator.hw_cost(config))
-        cost[parameter] = hw_estimator.estimate(accelerator, config)
-        return quality, cost
-
-    def evaluate(config: Configuration) -> EvaluatedConfiguration:
-        return _through_cache(cache, "axe", context, config, lambda: estimate(config))
+    evaluate = _estimated_evaluator(accelerator, qor_estimator, hw_estimator, cache)
 
     archive = [evaluate(accelerator.random_configuration(rng)) for _ in range(8)]
     archive = _non_dominated(archive, parameter)
@@ -181,6 +215,39 @@ def hill_climb_pareto(
             archive.sort(key=lambda entry: entry.cost[parameter])
             indices = np.linspace(0, len(archive) - 1, archive_limit).round().astype(int)
             archive = [archive[i] for i in dict.fromkeys(int(i) for i in indices)]
+    return archive
+
+
+@SEARCH_STRATEGIES.register("random_archive")
+def random_archive(
+    accelerator: GaussianFilterAccelerator,
+    qor_estimator: QorEstimator,
+    hw_estimator: HwCostEstimator,
+    iterations: int = 400,
+    archive_limit: int = 64,
+    seed: int = 31,
+    cache: Optional[EvalCache] = None,
+) -> List[EvaluatedConfiguration]:
+    """Estimator-scored uniform random sampling, pruned to a Pareto archive.
+
+    The mutation-free counterpart of :func:`hill_climb_pareto`: ``iterations``
+    uniformly random configurations are scored with the estimators and the
+    non-dominated subset (spread-limited to ``archive_limit`` members along
+    the cost axis) is returned.  Useful as an ablation baseline for the
+    search itself, with the same strategy signature.
+    """
+    rng = np.random.default_rng(seed)
+    parameter = hw_estimator.parameter
+    evaluate = _estimated_evaluator(accelerator, qor_estimator, hw_estimator, cache)
+
+    archive: List[EvaluatedConfiguration] = []
+    for _ in range(iterations):
+        archive.append(evaluate(accelerator.random_configuration(rng)))
+        archive = _non_dominated(archive, parameter)
+    if len(archive) > archive_limit:
+        archive.sort(key=lambda entry: entry.cost[parameter])
+        indices = np.linspace(0, len(archive) - 1, archive_limit).round().astype(int)
+        archive = [archive[i] for i in dict.fromkeys(int(i) for i in indices)]
     return archive
 
 

@@ -1,0 +1,292 @@
+"""Stage decomposition of the AutoAx-FPGA case study on :mod:`repro.api`.
+
+The case study becomes four kinds of stages over a shared
+:class:`AutoAxState`: exact training-sample collection, estimator fitting,
+one search-and-reevaluate scenario per FPGA parameter, and the random
+baseline.  Sample and candidate payloads are JSON-serialisable (component
+indices plus measured quality/cost), so a pipeline with an artifact store
+resumes an interrupted study per scenario.
+
+The estimator-fitting stage is not checkpointable (fitted regressors do not
+serialise); it recomputes deterministically from the restored samples, so a
+resumed run still matches an uninterrupted one exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api.pipeline import Pipeline, PipelineRun, Stage
+from ..core.pareto import pareto_front_indices
+from ..engine import EvalCache, blake_token, images_token
+from .accelerator import ApproxComponent, Configuration, GaussianFilterAccelerator
+from .estimators import (
+    HwCostEstimator,
+    QorEstimator,
+    TrainingSample,
+    collect_training_samples,
+    configuration_features,
+)
+from .images import default_image_set
+from .search import (
+    SEARCH_STRATEGIES,
+    EvaluatedConfiguration,
+    accelerator_token,
+    exact_reevaluation,
+    random_search,
+)
+
+__all__ = [
+    "AutoAxState",
+    "autoax_stages",
+    "autoax_run_token",
+    "build_autoax_result",
+    "run_autoax_pipeline",
+    "CollectSamplesStage",
+    "FitEstimatorsStage",
+    "ScenarioStage",
+    "RandomBaselineStage",
+]
+
+
+# --------------------------------------------------------------------- #
+# Payload encoding of evaluated configurations
+# --------------------------------------------------------------------- #
+def _evaluated_to_payload(entry: EvaluatedConfiguration) -> dict:
+    return {
+        "multipliers": [int(i) for i in entry.config.multiplier_indices],
+        "adders": [int(i) for i in entry.config.adder_indices],
+        "quality": float(entry.quality),
+        "cost": {name: float(value) for name, value in entry.cost.items()},
+    }
+
+
+def _evaluated_from_payload(payload: dict) -> EvaluatedConfiguration:
+    return EvaluatedConfiguration(
+        config=Configuration(
+            tuple(int(i) for i in payload["multipliers"]),
+            tuple(int(i) for i in payload["adders"]),
+        ),
+        quality=float(payload["quality"]),
+        cost={name: float(value) for name, value in payload["cost"].items()},
+    )
+
+
+# --------------------------------------------------------------------- #
+# Shared state
+# --------------------------------------------------------------------- #
+@dataclass
+class AutoAxState:
+    """Mutable working state threaded through the AutoAx-FPGA stages."""
+
+    accelerator: GaussianFilterAccelerator
+    images: List[np.ndarray]
+    config: "AutoAxConfig"  # noqa: F821 - imported lazily to avoid a cycle
+    cache: EvalCache
+
+    samples: List[TrainingSample] = field(default_factory=list)
+    qor_estimator: Optional[QorEstimator] = None
+    scenarios: Dict[str, "ScenarioResult"] = field(default_factory=dict)  # noqa: F821
+    baseline: List[EvaluatedConfiguration] = field(default_factory=list)
+
+    @classmethod
+    def create(
+        cls,
+        multipliers: Sequence[ApproxComponent],
+        adders: Sequence[ApproxComponent],
+        config: Optional["AutoAxConfig"] = None,  # noqa: F821
+        *,
+        images: Optional[Sequence[np.ndarray]] = None,
+        cache: Optional[EvalCache] = None,
+    ) -> "AutoAxState":
+        """Build a state with the same component defaults as the legacy flow."""
+        from .flow import AutoAxConfig
+
+        config = config or AutoAxConfig()
+        accelerator = GaussianFilterAccelerator(multipliers, adders)
+        return cls(
+            accelerator=accelerator,
+            images=list(images) if images is not None else default_image_set(config.image_size),
+            config=config,
+            cache=cache if cache is not None else EvalCache(),
+        )
+
+
+# --------------------------------------------------------------------- #
+# Stages
+# --------------------------------------------------------------------- #
+class CollectSamplesStage(Stage):
+    """Exactly evaluate a random sample of configurations (training set)."""
+
+    name = "collect-samples"
+
+    def compute(self, state: AutoAxState) -> list:
+        samples = collect_training_samples(
+            state.accelerator,
+            state.images,
+            state.config.num_training_samples,
+            seed=state.config.seed,
+        )
+        # TrainingSample exposes the same config/quality/cost surface as an
+        # EvaluatedConfiguration, so the payload encodings stay in lockstep.
+        return [_evaluated_to_payload(sample) for sample in samples]
+
+    def absorb(self, state: AutoAxState, payload: list) -> None:
+        # Feature vectors are a deterministic function of the configuration,
+        # so they are recomputed instead of serialised.
+        samples: List[TrainingSample] = []
+        for raw in payload:
+            entry = _evaluated_from_payload(raw)
+            samples.append(
+                TrainingSample(
+                    config=entry.config,
+                    features=configuration_features(state.accelerator, entry.config),
+                    quality=entry.quality,
+                    cost=entry.cost,
+                )
+            )
+        state.samples = samples
+
+
+class FitEstimatorsStage(Stage):
+    """Fit the shared QoR estimator on the training samples.
+
+    Fitted regressors do not serialise, so this stage is never checkpointed;
+    fitting is deterministic given the samples, which keeps resumed runs
+    identical to uninterrupted ones.
+    """
+
+    name = "fit-estimators"
+    checkpoint = False
+
+    def compute(self, state: AutoAxState) -> None:
+        return None
+
+    def absorb(self, state: AutoAxState, payload) -> None:
+        state.qor_estimator = QorEstimator().fit(state.samples)
+
+
+class ScenarioStage(Stage):
+    """One (FPGA parameter, SSIM) scenario: fit the cost estimator, run the
+    configured search strategy and re-evaluate the candidates exactly."""
+
+    def __init__(self, parameter: str, offset: int):
+        self.parameter = parameter
+        self.offset = offset
+        self.name = f"scenario-{parameter}"
+
+    def compute(self, state: AutoAxState) -> dict:
+        config = state.config
+        hw_estimator = HwCostEstimator(self.parameter).fit(state.samples)
+        strategy = SEARCH_STRATEGIES.get(config.search_strategy)
+        candidates = strategy(
+            state.accelerator,
+            state.qor_estimator,
+            hw_estimator,
+            iterations=config.hill_climb_iterations,
+            seed=config.seed + 100 + self.offset,
+            cache=state.cache,
+        )
+        evaluated = exact_reevaluation(
+            state.accelerator, state.images, candidates, cache=state.cache
+        )
+        return {"candidates": [_evaluated_to_payload(entry) for entry in evaluated]}
+
+    def absorb(self, state: AutoAxState, payload: dict) -> None:
+        from .flow import ScenarioResult
+
+        evaluated = [_evaluated_from_payload(entry) for entry in payload["candidates"]]
+        points = np.array(
+            [[entry.cost[self.parameter], 1.0 - entry.quality] for entry in evaluated]
+        )
+        front_indices = pareto_front_indices(points) if len(evaluated) else []
+        state.scenarios[self.parameter] = ScenarioResult(
+            parameter=self.parameter,
+            candidates=evaluated,
+            front=[evaluated[i] for i in front_indices],
+            num_candidates=len(evaluated),
+        )
+
+
+class RandomBaselineStage(Stage):
+    """The exactly-evaluated random-search baseline of Fig. 9."""
+
+    name = "random-baseline"
+
+    def compute(self, state: AutoAxState) -> list:
+        baseline = random_search(
+            state.accelerator,
+            state.images,
+            state.config.num_random_baseline,
+            seed=state.config.seed + 999,
+            cache=state.cache,
+        )
+        return [_evaluated_to_payload(entry) for entry in baseline]
+
+    def absorb(self, state: AutoAxState, payload: list) -> None:
+        state.baseline = [_evaluated_from_payload(entry) for entry in payload]
+
+
+# --------------------------------------------------------------------- #
+# Pipeline assembly
+# --------------------------------------------------------------------- #
+def autoax_stages(config) -> List[Stage]:
+    """The stage sequence of the AutoAx-FPGA case study for one configuration."""
+    stages: List[Stage] = [CollectSamplesStage(), FitEstimatorsStage()]
+    for offset, parameter in enumerate(config.parameters):
+        stages.append(ScenarioStage(parameter, offset))
+    stages.append(RandomBaselineStage())
+    return stages
+
+
+def autoax_run_token(state: AutoAxState) -> str:
+    """Digest of everything a checkpointed case-study run depends on."""
+    return blake_token(
+        "autoax",
+        accelerator_token(state.accelerator),
+        images_token(state.images),
+        repr(state.config),
+    )
+
+
+def build_autoax_result(state: AutoAxState, runtime_s: float) -> "AutoAxResult":  # noqa: F821
+    """Assemble the public result object from a fully-run state."""
+    from .flow import AutoAxResult
+
+    return AutoAxResult(
+        scenarios=state.scenarios,
+        baseline=state.baseline,
+        design_space_size=state.accelerator.design_space_size,
+        runtime_s=runtime_s,
+        training_size=len(state.samples),
+    )
+
+
+def run_autoax_pipeline(
+    multipliers: Sequence[ApproxComponent],
+    adders: Sequence[ApproxComponent],
+    config=None,
+    *,
+    images: Optional[Sequence[np.ndarray]] = None,
+    cache: Optional[EvalCache] = None,
+    store: Optional[object] = None,
+    run_id: Optional[str] = None,
+    progress=None,
+    resume: bool = True,
+) -> Tuple["AutoAxResult", PipelineRun]:  # noqa: F821
+    """Run the staged AutoAx-FPGA case study, optionally checkpointing."""
+    state = AutoAxState.create(multipliers, adders, config, images=images, cache=cache)
+    pipeline = Pipeline(
+        autoax_stages(state.config),
+        store=store,
+        run_id=run_id or "autoax-gaussian-filter",
+        token=autoax_run_token(state),
+        progress=progress,
+    )
+    started = time.perf_counter()
+    run = pipeline.run(state, resume=resume)
+    return build_autoax_result(state, time.perf_counter() - started), run

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from .netlist import Netlist
-from .simulate import random_operands, simulate_bits, words_to_bits
+from .simulate import random_operands, words_to_bits
 
 
 def node_signal_probabilities(

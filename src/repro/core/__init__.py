@@ -22,6 +22,12 @@ from .results import (
     ParameterOutcome,
 )
 from .methodology import ApproxFpgasConfig, ApproxFpgasFlow, run_approxfpgas
+from .stages import (
+    ApproxFpgasState,
+    approxfpgas_stages,
+    build_approxfpgas_result,
+    run_approxfpgas_pipeline,
+)
 
 __all__ = [
     "fidelity",
@@ -44,4 +50,8 @@ __all__ = [
     "ApproxFpgasConfig",
     "ApproxFpgasFlow",
     "run_approxfpgas",
+    "ApproxFpgasState",
+    "approxfpgas_stages",
+    "build_approxfpgas_result",
+    "run_approxfpgas_pipeline",
 ]

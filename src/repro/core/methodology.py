@@ -15,11 +15,17 @@ small fraction of the library:
 7. re-synthesize the selected candidates to obtain measured FPGA costs;
 8. report the measured Pareto front, the synthesis-time accounting, and
    (optionally, for evaluation) the coverage of the true Pareto front.
+
+The staged implementation lives in :mod:`repro.core.stages` on top of the
+:mod:`repro.api` pipeline; :class:`ApproxFpgasFlow` and
+:func:`run_approxfpgas` are kept as thin backwards-compatible wrappers whose
+seeded results are bit-identical to the historical monolithic flow.  New
+code should prefer :class:`repro.api.ExplorationSession`, which adds shared
+caching, artifact checkpointing and resumable runs on the same stages.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,24 +33,27 @@ import numpy as np
 
 from ..asic import AsicSynthesizer
 from ..engine import BatchEvaluator
-from ..error import ErrorEvaluator
-from ..features import feature_matrix
-from ..fpga import FPGA_PARAMETERS, FpgaSynthesizer, estimate_synthesis_time
+from ..error import ERROR_METRICS, ErrorEvaluator
+from ..fpga import FPGA_PARAMETERS, FpgaSynthesizer
 from ..generators import CircuitLibrary
-from ..ml import MODEL_IDS, build_model, pearson_correlation, r2_score
-from .exploration import ExplorationCost
-from .fidelity import fidelity
-from .pareto import pareto_coverage, pareto_front_indices, pareto_union, successive_pareto_fronts
-from .results import ApproxFpgasResult, CircuitRecord, ModelEvaluation, ParameterOutcome
+from ..ml import MODEL_IDS
+from .results import ApproxFpgasResult, CircuitRecord
+from .stages import (
+    ApproxFpgasState,
+    approxfpgas_stages,
+    build_approxfpgas_result,
+    select_training_subset,
+)
 
 
 @dataclass
 class ApproxFpgasConfig:
     """Configuration of the ApproxFPGAs flow.
 
-    The defaults follow the paper: a ~10% synthesized subset split 80/20 into
-    training and validation, the three FPGA parameters, three pseudo-Pareto
-    fronts and the union of the top-3 models per parameter.
+    The defaults follow the paper's recipe: a small synthesized subset (15%
+    of the library by default, floored at ``min_training_circuits``) split
+    80/20 into training and validation, the three FPGA parameters, three
+    pseudo-Pareto fronts and the union of the top-3 models per parameter.
     """
 
     training_fraction: float = 0.15
@@ -65,6 +74,11 @@ class ApproxFpgasConfig:
             raise ValueError("training_fraction must be in (0, 1]")
         if not (0.0 < self.validation_fraction < 1.0):
             raise ValueError("validation_fraction must be in (0, 1)")
+        if self.min_training_circuits < 2:
+            raise ValueError(
+                "min_training_circuits must be at least 2 (one training and "
+                "one validation circuit)"
+            )
         if self.num_pseudo_fronts < 1:
             raise ValueError("num_pseudo_fronts must be at least 1")
         if self.top_k_models < 1:
@@ -72,10 +86,24 @@ class ApproxFpgasConfig:
         unknown = set(self.fpga_parameters) - set(FPGA_PARAMETERS)
         if unknown:
             raise ValueError(f"unknown FPGA parameters: {sorted(unknown)}")
+        if self.error_metric not in ERROR_METRICS:
+            raise ValueError(
+                f"unknown error metric {self.error_metric!r}; "
+                f"available: {ERROR_METRICS.keys()}"
+            )
 
 
 class ApproxFpgasFlow:
-    """Orchestrates the full methodology on one circuit library."""
+    """Backwards-compatible facade over the staged ApproxFPGAs pipeline.
+
+    The constructor signature and the public helpers (:meth:`build_records`,
+    :meth:`select_training_subset`, :meth:`run`) are unchanged from the
+    original monolithic implementation, and seeded results are
+    bit-identical; the work itself is delegated to the
+    :mod:`repro.core.stages` pipeline.  New code that wants shared caches,
+    checkpointing or progress callbacks should use
+    :class:`repro.api.ExplorationSession` instead.
+    """
 
     def __init__(
         self,
@@ -102,200 +130,37 @@ class ApproxFpgasFlow:
             fpga_synthesizer=self.fpga,
         )
 
+    def _state(self) -> ApproxFpgasState:
+        return ApproxFpgasState(library=self.library, config=self.config, engine=self.engine)
+
     # ------------------------------------------------------------------ #
     # Individual stages (public so benchmarks and ablations can reuse them)
     # ------------------------------------------------------------------ #
     def build_records(self) -> Tuple[Dict[str, CircuitRecord], np.ndarray, List[str]]:
         """Stage 1-2: error metrics, ASIC reports and feature vectors for the library."""
-        circuits = list(self.library)
-        error_reports = self.engine.evaluate_errors(circuits)
-        asic_reports = self.engine.evaluate_asic(circuits)
-        features, feature_names = feature_matrix(circuits, asic_reports=asic_reports)
-        records: Dict[str, CircuitRecord] = {}
-        for index, circuit in enumerate(circuits):
-            records[circuit.name] = CircuitRecord(
-                name=circuit.name,
-                error=error_reports[index],
-                asic=asic_reports[index],
-                features=features[index],
-            )
-        return records, features, feature_names
+        from .stages import EvaluateLibraryStage
+
+        state = self._state()
+        stage = EvaluateLibraryStage()
+        stage.absorb(state, stage.compute(state))
+        return state.records, state.features, state.feature_names
 
     def select_training_subset(self) -> List[str]:
         """Stage 3 selection: the random subset that will be synthesized first."""
-        count = max(
-            self.config.min_training_circuits,
-            int(round(self.config.training_fraction * len(self.library))),
-        )
-        count = min(count, len(self.library))
-        rng = np.random.default_rng(self.config.seed)
-        indices = rng.choice(len(self.library), size=count, replace=False)
-        return [self.library[int(i)].name for i in sorted(indices)]
-
-    def _error_value(self, record: CircuitRecord) -> float:
-        return float(getattr(record.error.metrics, self.config.error_metric))
+        return select_training_subset(self.library, self.config)
 
     # ------------------------------------------------------------------ #
     def run(self) -> ApproxFpgasResult:
         """Execute the full flow and return the collected results."""
-        config = self.config
-        records, features, feature_names = self.build_records()
-        names = [circuit.name for circuit in self.library]
-        name_to_index = {name: index for index, name in enumerate(names)}
-
-        # --- Stage 3: synthesize the training subset -------------------- #
-        subset_names = self.select_training_subset()
-        training_time_s = 0.0
-        subset_circuits = [self.library.get(name) for name in subset_names]
-        for circuit, report in zip(subset_circuits, self.engine.evaluate_fpga(subset_circuits)):
-            records[circuit.name].fpga = report
-            training_time_s += estimate_synthesis_time(circuit, self.fpga.device)
-
-        # --- Stage 4: train and validate the model zoo ------------------ #
-        rng = np.random.default_rng(config.seed + 1)
-        shuffled = list(subset_names)
-        rng.shuffle(shuffled)
-        num_validation = max(1, int(round(config.validation_fraction * len(shuffled))))
-        if num_validation >= len(shuffled):
-            num_validation = len(shuffled) - 1
-        validation_names = shuffled[:num_validation]
-        training_names = shuffled[num_validation:]
-
-        X_train = np.vstack([records[name].features for name in training_names])
-        X_val = np.vstack([records[name].features for name in validation_names])
-
-        evaluations: List[ModelEvaluation] = []
-        model_time_s = 0.0
-        fitted_models: Dict[Tuple[str, str], object] = {}
-        for parameter in config.fpga_parameters:
-            y_train = np.array(
-                [records[name].fpga.parameter(parameter) for name in training_names]
-            )
-            y_val = np.array(
-                [records[name].fpga.parameter(parameter) for name in validation_names]
-            )
-            for model_id in config.model_ids:
-                model = build_model(model_id, feature_names, random_state=config.seed)
-                start = time.perf_counter()
-                model.fit(X_train, y_train)
-                estimates = model.predict(X_val)
-                elapsed = time.perf_counter() - start
-                model_time_s += elapsed
-                evaluations.append(
-                    ModelEvaluation(
-                        model_id=model_id,
-                        parameter=parameter,
-                        fidelity=fidelity(y_val, estimates),
-                        pearson=pearson_correlation(y_val, estimates),
-                        r2=r2_score(y_val, estimates),
-                        train_time_s=elapsed,
-                    )
-                )
-                fitted_models[(parameter, model_id)] = model
-
-        # --- Stage 5-6: estimate all circuits, build pseudo-Pareto fronts - #
-        errors = np.array([self._error_value(records[name]) for name in names])
-        parameter_outcomes: Dict[str, ParameterOutcome] = {}
-        resynthesis_time_s = 0.0
-        candidate_union: Dict[str, List[str]] = {}
-
-        for parameter in config.fpga_parameters:
-            # Rank by validation fidelity; break ties with the Pearson
-            # correlation so continuous estimators win over piecewise-constant
-            # ones that happen to tie on a small validation set.
-            ranked = sorted(
-                (e for e in evaluations if e.parameter == parameter),
-                key=lambda e: (e.fidelity, e.pearson),
-                reverse=True,
-            )
-            top_models = [evaluation.model_id for evaluation in ranked[: config.top_k_models]]
-
-            fronts_per_model: List[List[int]] = []
-            for model_id in top_models:
-                model = fitted_models[(parameter, model_id)]
-                estimates = model.predict(features)
-                points = np.column_stack([errors, estimates])
-                fronts = successive_pareto_fronts(points, config.num_pseudo_fronts)
-                fronts_per_model.extend(fronts)
-                # Remember the estimate of the best-ranked model per circuit.
-                if model_id == top_models[0]:
-                    for index, name in enumerate(names):
-                        records[name].estimated[parameter] = float(estimates[index])
-
-            candidate_indices = pareto_union(fronts_per_model)
-            candidate_names = [names[index] for index in candidate_indices]
-            candidate_union[parameter] = candidate_names
-
-            parameter_outcomes[parameter] = ParameterOutcome(
-                parameter=parameter,
-                top_models=top_models,
-                candidate_names=candidate_names,
-                final_front_names=[],
-            )
-
-        # --- Stage 7: re-synthesize the selected candidates -------------- #
-        for parameter, candidate_names in candidate_union.items():
-            pending = [
-                self.library.get(name)
-                for name in candidate_names
-                if records[name].fpga is None
-            ]
-            for circuit, report in zip(pending, self.engine.evaluate_fpga(pending)):
-                records[circuit.name].fpga = report
-                resynthesis_time_s += estimate_synthesis_time(circuit, self.fpga.device)
-
-        # --- Stage 8: measured Pareto fronts over the synthesized set ---- #
-        flow_synthesized = {name for name, record in records.items() if record.synthesized}
-        for parameter, outcome in parameter_outcomes.items():
-            measured_names = sorted(flow_synthesized)
-            points = np.column_stack(
-                [
-                    [self._error_value(records[name]) for name in measured_names],
-                    [records[name].fpga.parameter(parameter) for name in measured_names],
-                ]
-            )
-            front = pareto_front_indices(points)
-            outcome.final_front_names = [measured_names[i] for i in front]
-
-        exploration_cost = ExplorationCost(
-            library_name=self.library.name,
-            num_circuits=len(self.library),
-            exhaustive_time_s=float(
-                sum(estimate_synthesis_time(circuit, self.fpga.device) for circuit in self.library)
-            ),
-            training_time_s=training_time_s,
-            resynthesis_time_s=resynthesis_time_s,
-            model_time_s=model_time_s,
-        )
-
-        # --- Stage 9 (evaluation only): oracle Pareto front & coverage --- #
-        if config.evaluate_coverage:
-            missing = [self.library.get(name) for name in names if records[name].fpga is None]
-            for circuit, report in zip(missing, self.engine.evaluate_fpga(missing)):
-                records[circuit.name].fpga = report
-            for parameter, outcome in parameter_outcomes.items():
-                points = np.column_stack(
-                    [
-                        errors,
-                        [records[name].fpga.parameter(parameter) for name in names],
-                    ]
-                )
-                true_front = pareto_front_indices(points)
-                outcome.true_front_names = [names[i] for i in true_front]
-                flow_indices = [name_to_index[name] for name in flow_synthesized]
-                outcome.coverage = pareto_coverage(true_front, flow_indices)
-
-        return ApproxFpgasResult(
-            library_name=self.library.name,
-            kind=self.library.kind,
-            bitwidth=self.library.bitwidth,
-            records=records,
-            model_evaluations=evaluations,
-            parameter_outcomes=parameter_outcomes,
-            exploration_cost=exploration_cost,
-            training_names=training_names,
-            validation_names=validation_names,
-        )
+        state = self._state()
+        # Route stages 1-3 through the public helper methods so subclasses
+        # that override them (the advertised ablation hooks) keep taking
+        # effect inside run(), exactly as in the monolithic implementation.
+        state.records_builder = self.build_records
+        state.subset_selector = self.select_training_subset
+        for stage in approxfpgas_stages(self.config):
+            stage.absorb(state, stage.compute(state))
+        return build_approxfpgas_result(state)
 
 
 def run_approxfpgas(library: CircuitLibrary, **config_kwargs) -> ApproxFpgasResult:

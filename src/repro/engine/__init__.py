@@ -10,7 +10,16 @@ the disk backend is attached.
 """
 
 from .cache import CacheStats, EvalCache
-from .evaluator import BatchEvaluator, LibraryEvaluation
+from .evaluator import (
+    BatchEvaluator,
+    LibraryEvaluation,
+    asic_report_from_payload,
+    asic_report_to_payload,
+    error_report_from_payload,
+    error_report_to_payload,
+    fpga_report_from_payload,
+    fpga_report_to_payload,
+)
 from .keys import blake_token, cache_key, configuration_token, images_token
 
 __all__ = [
@@ -18,6 +27,12 @@ __all__ = [
     "EvalCache",
     "BatchEvaluator",
     "LibraryEvaluation",
+    "asic_report_from_payload",
+    "asic_report_to_payload",
+    "error_report_from_payload",
+    "error_report_to_payload",
+    "fpga_report_from_payload",
+    "fpga_report_to_payload",
     "blake_token",
     "cache_key",
     "configuration_token",

@@ -413,3 +413,24 @@ class BatchEvaluator:
     def stats(self):
         """Shortcut to the underlying cache statistics."""
         return self.cache.stats()
+
+
+# --------------------------------------------------------------------- #
+# Public aliases: the stage pipelines (repro.api) checkpoint their
+# artifacts with the same payload encoding the cache uses on disk.
+# --------------------------------------------------------------------- #
+error_report_to_payload = _error_report_to_payload
+error_report_from_payload = _payload_to_error_report
+asic_report_to_payload = _asic_report_to_payload
+asic_report_from_payload = _payload_to_asic_report
+fpga_report_to_payload = _fpga_report_to_payload
+fpga_report_from_payload = _payload_to_fpga_report
+
+__all__ += [
+    "error_report_to_payload",
+    "error_report_from_payload",
+    "asic_report_to_payload",
+    "asic_report_from_payload",
+    "fpga_report_to_payload",
+    "fpga_report_from_payload",
+]

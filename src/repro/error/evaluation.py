@@ -10,7 +10,6 @@ enumeration is infeasible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

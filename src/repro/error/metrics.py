@@ -10,10 +10,13 @@ computing literature and by AutoAx.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Dict
 
 import numpy as np
+
+from ..registry import Registry
 
 
 @dataclass(frozen=True)
@@ -101,3 +104,13 @@ def mean_error_distance(
 ) -> float:
     """Shorthand for only the paper's MED metric."""
     return compute_error_metrics(exact_outputs, approx_outputs, max_output).med
+
+
+#: Registry of error-metric extractors: key -> ``ErrorMetrics -> float``.
+#: The ApproxFPGAs flow resolves ``ApproxFpgasConfig.error_metric`` here, so
+#: custom metrics plug in by registering an extractor instead of editing the
+#: flow.  The built-in keys mirror the :class:`ErrorMetrics` fields.
+ERROR_METRICS = Registry(
+    "error metric",
+    {name: operator.attrgetter(name) for name in ErrorMetrics.__dataclass_fields__},
+)

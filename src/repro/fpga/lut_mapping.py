@@ -12,7 +12,7 @@ would sweep them during optimisation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Set
 
 from ..circuits import GateType, Netlist
 

@@ -19,7 +19,6 @@ output bits):
 
 from __future__ import annotations
 
-import math
 from typing import List, Sequence
 
 from ..circuits import NetlistBuilder, Netlist

@@ -32,6 +32,7 @@ from .model_zoo import (
     ASIC_FEATURE_FOR_MODEL,
     MODEL_DESCRIPTIONS,
     MODEL_IDS,
+    MODELS,
     ModelZooError,
     build_model,
     build_model_zoo,
@@ -78,6 +79,7 @@ __all__ = [
     "ASIC_FEATURE_FOR_MODEL",
     "MODEL_DESCRIPTIONS",
     "MODEL_IDS",
+    "MODELS",
     "ModelZooError",
     "build_model",
     "build_model_zoo",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..registry import Registry, RegistryError
 from .base import Regressor
 from .ensemble import AdaBoostRegressor, GradientBoostingRegressor, RandomForestRegressor
 from .gaussian_process import GaussianProcessRegressor
@@ -31,8 +32,15 @@ from .preprocessing import FeatureSubsetRegressor, ScaledRegressor
 from .symbolic import SymbolicRegressor
 from .tree import DecisionTreeRegressor
 
-#: Model identifiers in the order of Table I of the paper.
-MODEL_IDS = tuple(f"ML{i}" for i in range(1, 19))
+#: Registry of model factories in the order of Table I of the paper.  Each
+#: entry maps a model id to ``factory(feature_names, random_state) ->
+#: Regressor``.  Custom models plug in with ``MODELS.register("my-model",
+#: factory)`` and can then be listed in ``ApproxFpgasConfig.model_ids``.
+MODELS = Registry("model")
+
+#: Backwards-compatible alias: historical code iterated ``MODEL_IDS`` as a
+#: tuple of ids; the registry iterates, sizes and compares like that tuple.
+MODEL_IDS = MODELS
 
 #: Human-readable names matching Table I.
 MODEL_DESCRIPTIONS: Dict[str, str] = {
@@ -64,7 +72,7 @@ ASIC_FEATURE_FOR_MODEL: Dict[str, str] = {
 }
 
 
-class ModelZooError(KeyError):
+class ModelZooError(RegistryError):
     """Raised when a model id is unknown or required features are missing."""
 
 
@@ -78,55 +86,83 @@ def _feature_index(feature_names: Sequence[str], name: str) -> int:
         ) from error
 
 
+def _asic_regression_factory(model_id: str) -> Callable[[Sequence[str], int], Regressor]:
+    """ML1-ML3: ordinary least squares on one ASIC feature column."""
+
+    def factory(feature_names: Sequence[str], random_state: int) -> Regressor:
+        index = _feature_index(feature_names, ASIC_FEATURE_FOR_MODEL[model_id])
+        return FeatureSubsetRegressor(LinearRegression(), [index])
+
+    return factory
+
+
+def _register_builtin_models() -> None:
+    for model_id in ASIC_FEATURE_FOR_MODEL:
+        MODELS.register(model_id, _asic_regression_factory(model_id))
+    builders: Dict[str, Callable[[Sequence[str], int], Regressor]] = {
+        "ML4": lambda names, seed: PLSRegression(n_components=4),
+        "ML5": lambda names, seed: RandomForestRegressor(
+            n_estimators=60, max_depth=10, random_state=seed
+        ),
+        "ML6": lambda names, seed: GradientBoostingRegressor(
+            n_estimators=120, learning_rate=0.08, max_depth=3, random_state=seed
+        ),
+        "ML7": lambda names, seed: AdaBoostRegressor(
+            n_estimators=50, max_depth=4, random_state=seed
+        ),
+        "ML8": lambda names, seed: ScaledRegressor(
+            GaussianProcessRegressor(noise=1e-2), scale_target=True
+        ),
+        "ML9": lambda names, seed: SymbolicRegressor(
+            population_size=60, generations=20, random_state=seed
+        ),
+        "ML10": lambda names, seed: ScaledRegressor(
+            KernelRidge(alpha=0.1, kernel="rbf"), scale_target=True
+        ),
+        "ML11": lambda names, seed: ScaledRegressor(BayesianRidgeRegression(), scale_target=False),
+        "ML12": lambda names, seed: ScaledRegressor(LassoRegression(alpha=0.01), scale_target=False),
+        "ML13": lambda names, seed: LeastAngleRegression(),
+        "ML14": lambda names, seed: ScaledRegressor(RidgeRegression(alpha=1.0), scale_target=False),
+        "ML15": lambda names, seed: ScaledRegressor(
+            SGDRegressor(random_state=seed), scale_target=True
+        ),
+        "ML16": lambda names, seed: ScaledRegressor(
+            KNeighborsRegressor(n_neighbors=5), scale_target=False
+        ),
+        "ML17": lambda names, seed: ScaledRegressor(
+            MLPRegressor(hidden_layer_sizes=(32, 16), max_iter=200, random_state=seed),
+            scale_target=True,
+        ),
+        "ML18": lambda names, seed: DecisionTreeRegressor(max_depth=8, random_state=seed),
+    }
+    for model_id, factory in builders.items():
+        MODELS.register(model_id, factory)
+
+
+_register_builtin_models()
+
+
 def build_model(model_id: str, feature_names: Sequence[str], random_state: int = 0) -> Regressor:
-    """Construct a fresh, unfitted instance of one Table I model.
+    """Construct a fresh, unfitted instance of one registered model.
 
     Parameters
     ----------
     model_id:
-        One of ``"ML1"`` .. ``"ML18"``.
+        A key of :data:`MODELS` (the built-in Table I zoo registers
+        ``"ML1"`` .. ``"ML18"``).
     feature_names:
         Column names of the feature matrix the model will be fitted on; used
         by ML1-ML3 to locate their ASIC feature column.
     random_state:
         Seed forwarded to the stochastic models.
     """
-    if model_id not in MODEL_DESCRIPTIONS:
-        raise ModelZooError(f"unknown model id {model_id!r}; expected one of {MODEL_IDS}")
-
-    if model_id in ASIC_FEATURE_FOR_MODEL:
-        index = _feature_index(feature_names, ASIC_FEATURE_FOR_MODEL[model_id])
-        return FeatureSubsetRegressor(LinearRegression(), [index])
-
-    factories: Dict[str, Callable[[], Regressor]] = {
-        "ML4": lambda: PLSRegression(n_components=4),
-        "ML5": lambda: RandomForestRegressor(n_estimators=60, max_depth=10, random_state=random_state),
-        "ML6": lambda: GradientBoostingRegressor(
-            n_estimators=120, learning_rate=0.08, max_depth=3, random_state=random_state
-        ),
-        "ML7": lambda: AdaBoostRegressor(n_estimators=50, max_depth=4, random_state=random_state),
-        "ML8": lambda: ScaledRegressor(
-            GaussianProcessRegressor(noise=1e-2), scale_target=True
-        ),
-        "ML9": lambda: SymbolicRegressor(
-            population_size=60, generations=20, random_state=random_state
-        ),
-        "ML10": lambda: ScaledRegressor(KernelRidge(alpha=0.1, kernel="rbf"), scale_target=True),
-        "ML11": lambda: ScaledRegressor(BayesianRidgeRegression(), scale_target=False),
-        "ML12": lambda: ScaledRegressor(LassoRegression(alpha=0.01), scale_target=False),
-        "ML13": lambda: LeastAngleRegression(),
-        "ML14": lambda: ScaledRegressor(RidgeRegression(alpha=1.0), scale_target=False),
-        "ML15": lambda: ScaledRegressor(
-            SGDRegressor(random_state=random_state), scale_target=True
-        ),
-        "ML16": lambda: ScaledRegressor(KNeighborsRegressor(n_neighbors=5), scale_target=False),
-        "ML17": lambda: ScaledRegressor(
-            MLPRegressor(hidden_layer_sizes=(32, 16), max_iter=200, random_state=random_state),
-            scale_target=True,
-        ),
-        "ML18": lambda: DecisionTreeRegressor(max_depth=8, random_state=random_state),
-    }
-    return factories[model_id]()
+    try:
+        factory = MODELS.get(model_id)
+    except RegistryError:
+        raise ModelZooError(
+            f"unknown model id {model_id!r}; available: {MODELS.keys()}"
+        ) from None
+    return factory(feature_names, random_state)
 
 
 def build_model_zoo(
@@ -134,9 +170,9 @@ def build_model_zoo(
     include: Optional[Iterable[str]] = None,
     random_state: int = 0,
 ) -> Dict[str, Regressor]:
-    """Construct every requested Table I model (all 18 by default)."""
-    ids: List[str] = list(include) if include is not None else list(MODEL_IDS)
+    """Construct every requested registered model (all of Table I by default)."""
+    ids: List[str] = list(include) if include is not None else list(MODELS)
     for model_id in ids:
-        if model_id not in MODEL_DESCRIPTIONS:
-            raise ModelZooError(f"unknown model id {model_id!r}")
+        if model_id not in MODELS:
+            raise ModelZooError(f"unknown model id {model_id!r}; available: {MODELS.keys()}")
     return {model_id: build_model(model_id, feature_names, random_state) for model_id in ids}

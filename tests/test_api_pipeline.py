@@ -1,0 +1,399 @@
+"""Tests of the public API layer: registries, pipelines, sessions, resume.
+
+The end-to-end seeded-equivalence tests between the session/pipeline path
+and the legacy wrapper classes live in ``tests/test_backcompat.py``; this
+module covers the API machinery itself.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    ERROR_METRICS,
+    MODELS,
+    SYNTHESIZERS,
+    ExplorationSession,
+    FunctionStage,
+    Pipeline,
+    PipelineError,
+    Registry,
+    RegistryError,
+)
+from repro.autoax import SEARCH_STRATEGIES
+from repro.core import ApproxFpgasConfig
+from repro.io import JsonDirectoryStore, result_to_dict
+from repro.ml import MODEL_IDS, ModelZooError, build_model
+
+# --------------------------------------------------------------------- #
+# Registry semantics
+# --------------------------------------------------------------------- #
+class TestRegistry:
+    def test_register_get_and_order(self):
+        registry = Registry("thing")
+        registry.register("b", 2)
+        registry.register("a", 1)
+        assert registry.get("a") == 1
+        assert registry["b"] == 2
+        assert registry.keys() == ["b", "a"]  # insertion order, not sorted
+
+    def test_register_decorator(self):
+        registry = Registry("thing")
+
+        @registry.register("fn")
+        def fn():
+            return 42
+
+        assert registry.get("fn") is fn
+
+    def test_unknown_key_lists_available(self):
+        registry = Registry("widget", {"left": 1, "right": 2})
+        with pytest.raises(RegistryError) as excinfo:
+            registry.get("middle")
+        message = str(excinfo.value)
+        assert "unknown widget 'middle'" in message
+        assert "left" in message and "right" in message
+
+    def test_duplicate_registration_rejected_unless_overwrite(self):
+        registry = Registry("thing", {"a": 1})
+        with pytest.raises(RegistryError):
+            registry.register("a", 2)
+        registry.register("a", 2, overwrite=True)
+        assert registry.get("a") == 2
+
+    def test_unregister(self):
+        registry = Registry("thing", {"a": 1})
+        registry.unregister("a")
+        assert "a" not in registry
+        with pytest.raises(RegistryError):
+            registry.unregister("a")
+
+    def test_sequence_compatibility(self):
+        registry = Registry("thing", {"a": 1, "b": 2})
+        assert list(registry) == ["a", "b"]
+        assert len(registry) == 2
+        assert registry == ("a", "b")
+        assert registry == ["a", "b"]
+        assert registry != ("b", "a")
+        assert "a" in registry
+
+    def test_tuple_style_indexing_and_concatenation(self):
+        registry = Registry("thing", {"a": 1, "b": 2, "c": 3})
+        assert registry[0] == "a"
+        assert registry[-1] == "c"
+        assert registry[:2] == ("a", "b")
+        assert registry + ("d",) == ("a", "b", "c", "d")
+        assert ["z"] + registry == ["z", "a", "b", "c"]
+        assert MODEL_IDS[0] == "ML1" and MODEL_IDS[:3] == ("ML1", "ML2", "ML3")
+
+
+# --------------------------------------------------------------------- #
+# The built-in registries and their error paths
+# --------------------------------------------------------------------- #
+class TestBuiltinRegistries:
+    def test_model_ids_is_the_registry(self):
+        assert MODEL_IDS is MODELS
+        assert tuple(MODEL_IDS) == tuple(f"ML{i}" for i in range(1, 19))
+
+    def test_unknown_model_lists_available(self):
+        with pytest.raises(ModelZooError) as excinfo:
+            build_model("ML99", ["x"], random_state=0)
+        assert "ML1" in str(excinfo.value)
+        assert isinstance(excinfo.value, RegistryError)
+
+    def test_custom_model_pluggable(self):
+        from repro.ml import MeanRegressor
+
+        MODELS.register("test-mean", lambda names, seed: MeanRegressor())
+        try:
+            model = build_model("test-mean", ["x"])
+            assert isinstance(model, MeanRegressor)
+        finally:
+            MODELS.unregister("test-mean")
+
+    def test_error_metric_keys_cover_metrics_fields(self):
+        assert set(ERROR_METRICS.keys()) == {
+            "med", "mae", "wce", "wce_relative", "mre", "error_probability", "mse",
+        }
+        with pytest.raises(RegistryError) as excinfo:
+            ERROR_METRICS.get("nope")
+        assert "med" in str(excinfo.value)
+
+    def test_unknown_error_metric_rejected_by_config(self):
+        with pytest.raises(ValueError) as excinfo:
+            ApproxFpgasConfig(error_metric="typo")
+        assert "med" in str(excinfo.value)
+
+    def test_unknown_search_strategy_rejected_by_config(self):
+        from repro.autoax import AutoAxConfig
+
+        with pytest.raises(ValueError) as excinfo:
+            AutoAxConfig(search_strategy="simulated-annealing")
+        assert "hill_climb" in str(excinfo.value)
+        assert "hill_climb" in SEARCH_STRATEGIES and "random_archive" in SEARCH_STRATEGIES
+
+    def test_unknown_synthesizer_rejected_by_session(self):
+        with pytest.raises(RegistryError) as excinfo:
+            ExplorationSession(fpga_synthesizer="quantum")
+        assert "fpga" in str(excinfo.value)
+
+    def test_config_validates_min_training_circuits(self):
+        with pytest.raises(ValueError):
+            ApproxFpgasConfig(min_training_circuits=1)
+        assert ApproxFpgasConfig(min_training_circuits=2).min_training_circuits == 2
+
+
+# --------------------------------------------------------------------- #
+# Pipeline machinery on synthetic stages
+# --------------------------------------------------------------------- #
+def _counter_stage(name, calls, checkpoint=True):
+    """A stage that appends to ``calls`` on compute and sums into the state."""
+
+    def compute(state):
+        calls.append(name)
+        return {"value": state["base"] + len(name)}
+
+    def absorb(state, payload):
+        state[name] = payload["value"]
+
+    return FunctionStage(name, compute, absorb, checkpoint=checkpoint)
+
+
+class TestPipeline:
+    def test_duplicate_stage_names_rejected(self):
+        calls = []
+        with pytest.raises(PipelineError):
+            Pipeline([_counter_stage("a", calls), _counter_stage("a", calls)])
+
+    def test_runs_stages_in_order_with_timings(self):
+        calls = []
+        pipeline = Pipeline([_counter_stage("a", calls), _counter_stage("bb", calls)])
+        run = pipeline.run({"base": 1})
+        assert calls == ["a", "bb"]
+        assert run.state["a"] == 2 and run.state["bb"] == 3
+        assert set(run.timings()) == {"a", "bb"}
+        assert run.resumed_stages == []
+
+    def test_progress_events(self):
+        events = []
+        pipeline = Pipeline([_counter_stage("a", [])], progress=events.append)
+        pipeline.run({"base": 0})
+        assert [(e.stage, e.status) for e in events] == [("a", "started"), ("a", "completed")]
+
+    def test_checkpoints_resume_from_store(self, tmp_path):
+        store = JsonDirectoryStore(tmp_path / "artifacts")
+        calls_first: list = []
+        stages = [_counter_stage("a", calls_first), _counter_stage("bb", calls_first)]
+        Pipeline(stages, store=store, run_id="r", token="t").run({"base": 1})
+        assert calls_first == ["a", "bb"]
+
+        calls_second: list = []
+        stages = [_counter_stage("a", calls_second), _counter_stage("bb", calls_second)]
+        run = Pipeline(stages, store=store, run_id="r", token="t").run({"base": 1})
+        assert calls_second == []  # everything restored
+        assert run.resumed_stages == ["a", "bb"]
+        assert run.state["a"] == 2 and run.state["bb"] == 3
+
+    def test_changed_token_invalidates_checkpoints(self, tmp_path):
+        store = JsonDirectoryStore(tmp_path / "artifacts")
+        calls: list = []
+        Pipeline([_counter_stage("a", calls)], store=store, run_id="r", token="t1").run({"base": 1})
+        Pipeline([_counter_stage("a", calls)], store=store, run_id="r", token="t2").run({"base": 1})
+        assert calls == ["a", "a"]  # second run did not resume
+
+    def test_resume_false_recomputes(self, tmp_path):
+        store = JsonDirectoryStore(tmp_path / "artifacts")
+        calls: list = []
+        Pipeline([_counter_stage("a", calls)], store=store, run_id="r", token="t").run({"base": 1})
+        Pipeline([_counter_stage("a", calls)], store=store, run_id="r", token="t").run(
+            {"base": 1}, resume=False
+        )
+        assert calls == ["a", "a"]
+
+    def test_resume_false_still_stamps_the_manifest(self, tmp_path):
+        """A fresh run under a new token must not leave a stale manifest that
+        would let a later run resume the old token's checkpoints."""
+        store = JsonDirectoryStore(tmp_path / "artifacts")
+        calls: list = []
+        Pipeline([_counter_stage("a", calls)], store=store, run_id="r", token="t1").run({"base": 1})
+        Pipeline([_counter_stage("a", calls)], store=store, run_id="r", token="t2").run(
+            {"base": 2}, resume=False
+        )
+        calls.clear()
+        run = Pipeline(
+            [_counter_stage("a", calls)], store=store, run_id="r", token="t1"
+        ).run({"base": 1})
+        assert calls == ["a"]  # manifest says t2, so the t1 run cannot resume
+        assert run.resumed_stages == []
+
+    def test_non_checkpoint_stage_recomputes_on_resume(self, tmp_path):
+        store = JsonDirectoryStore(tmp_path / "artifacts")
+        calls: list = []
+        stages = [
+            _counter_stage("a", calls),
+            _counter_stage("fit", calls, checkpoint=False),
+            _counter_stage("bb", calls),
+        ]
+        Pipeline(stages, store=store, run_id="r", token="t").run({"base": 1})
+        calls.clear()
+        run = Pipeline(
+            [
+                _counter_stage("a", calls),
+                _counter_stage("fit", calls, checkpoint=False),
+                _counter_stage("bb", calls),
+            ],
+            store=store,
+            run_id="r",
+            token="t",
+        ).run({"base": 1})
+        assert calls == ["fit"]  # only the unserialisable stage re-ran
+        assert run.resumed_stages == ["a", "bb"]
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint/resume of the real ApproxFPGAs pipeline
+# --------------------------------------------------------------------- #
+DETERMINISTIC_COST_FIELDS = (
+    "num_circuits",
+    "exhaustive_time_s",
+    "training_time_s",
+    "resynthesis_time_s",
+)
+
+
+def canonical_result(result) -> str:
+    """JSON dump of a flow result with the wall-clock fields removed."""
+    payload = result_to_dict(result)
+    payload["exploration_cost"] = {
+        key: payload["exploration_cost"][key] for key in DETERMINISTIC_COST_FIELDS
+    }
+    for evaluation in payload["model_evaluations"]:
+        evaluation.pop("train_time_s", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def api_config():
+    return ApproxFpgasConfig(
+        training_fraction=0.25,
+        min_training_circuits=12,
+        num_pseudo_fronts=2,
+        top_k_models=2,
+        model_ids=["ML2", "ML14", "ML18"],
+        seed=11,
+        evaluate_coverage=True,
+    )
+
+
+class _InterruptAfter(Exception):
+    pass
+
+
+class TestApproxFpgasResume:
+    def test_interrupted_run_resumes_identically(
+        self, tmp_path, small_multiplier_library, api_config
+    ):
+        reference = ExplorationSession(seed=11).run_approxfpgas(
+            small_multiplier_library, api_config
+        )
+
+        # Kill the run right after stage 3 of 6 completes ...
+        def interrupt(event):
+            if event.status == "completed" and event.stage == "fit-and-select":
+                raise _InterruptAfter(event.stage)
+
+        workspace = tmp_path / "ws"
+        interrupted = ExplorationSession(seed=11, workspace=workspace)
+        with pytest.raises(_InterruptAfter):
+            interrupted.run_approxfpgas(
+                small_multiplier_library, api_config, progress=interrupt
+            )
+
+        # ... then resume with a brand-new session over the same workspace.
+        events = []
+        resumed_session = ExplorationSession(seed=11, workspace=workspace)
+        resumed = resumed_session.run_approxfpgas(
+            small_multiplier_library, api_config, progress=events.append
+        )
+        restored = [event.stage for event in events if event.status == "restored"]
+        assert restored == [
+            "evaluate-library",
+            "synthesize-training-subset",
+            "fit-and-select",
+        ]
+        assert canonical_result(resumed) == canonical_result(reference)
+
+    def test_completed_run_restores_every_stage(
+        self, tmp_path, small_multiplier_library, api_config
+    ):
+        workspace = tmp_path / "ws"
+        first = ExplorationSession(seed=11, workspace=workspace)
+        reference = first.run_approxfpgas(small_multiplier_library, api_config)
+
+        second = ExplorationSession(seed=11, workspace=workspace)
+        rerun = second.run_approxfpgas(small_multiplier_library, api_config)
+        run = second.runs[f"approxfpgas-{small_multiplier_library.name}"]
+        assert run.resumed_stages == [stage.name for stage in _approxfpgas_stage_list(api_config)]
+        assert canonical_result(rerun) == canonical_result(reference)
+
+    def test_changed_config_does_not_resume(
+        self, tmp_path, small_multiplier_library, api_config
+    ):
+        workspace = tmp_path / "ws"
+        ExplorationSession(seed=11, workspace=workspace).run_approxfpgas(
+            small_multiplier_library, api_config
+        )
+        other = ApproxFpgasConfig(
+            training_fraction=0.25,
+            min_training_circuits=12,
+            num_pseudo_fronts=2,
+            top_k_models=2,
+            model_ids=["ML2", "ML14", "ML18"],
+            seed=12,  # different seed => different token
+            evaluate_coverage=True,
+        )
+        session = ExplorationSession(seed=12, workspace=workspace)
+        session.run_approxfpgas(small_multiplier_library, other)
+        run = session.runs[f"approxfpgas-{small_multiplier_library.name}"]
+        assert run.resumed_stages == []
+
+
+def _approxfpgas_stage_list(config):
+    from repro.core import approxfpgas_stages
+
+    return approxfpgas_stages(config)
+
+
+# --------------------------------------------------------------------- #
+# Session plumbing
+# --------------------------------------------------------------------- #
+class TestExplorationSession:
+    def test_engines_are_shared_per_reference(self, small_multiplier_library):
+        session = ExplorationSession(seed=3)
+        reference = small_multiplier_library.reference()
+        assert session.engine_for(reference) is session.engine_for(reference)
+        assert session.engine_for(reference).cache is session.cache
+
+    def test_session_seed_seeds_default_configs(self):
+        session = ExplorationSession(seed=123)
+        assert session.rng(0).integers(0, 100) == session.rng(0).integers(0, 100)
+
+    def test_synthesizer_instances_accepted(self):
+        from repro.fpga import FpgaSynthesizer
+
+        synthesizer = FpgaSynthesizer()
+        session = ExplorationSession(fpga_synthesizer=synthesizer)
+        assert session.fpga_synthesizer is synthesizer
+        assert "fpga" in SYNTHESIZERS and "asic" in SYNTHESIZERS
+
+    def test_cache_shared_across_flows(self, tmp_path, small_multiplier_library, api_config):
+        session = ExplorationSession(seed=11)
+        session.run_approxfpgas(small_multiplier_library, api_config)
+        first_stats = session.stats()
+        session.run_approxfpgas(small_multiplier_library, api_config)
+        second_stats = session.stats()
+        # The second run is served from the shared cache: no new misses.
+        assert second_stats.misses == first_stats.misses
+        assert second_stats.hits > first_stats.hits

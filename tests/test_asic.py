@@ -1,12 +1,10 @@
 """Tests of the ASIC synthesis substrate."""
 
-import pytest
 
 from repro.asic import AsicSynthesizer, default_cell_library, synthesize_asic
 from repro.circuits import GateType
 from repro.generators import (
     array_multiplier,
-    ripple_carry_adder,
     truncated_multiplier,
     wallace_multiplier,
 )

@@ -3,7 +3,6 @@ engine cache and across serial / parallel engine modes."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.autoax import exact_reevaluation, hill_climb_pareto, random_search

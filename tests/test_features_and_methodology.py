@@ -1,6 +1,5 @@
 """Tests of feature extraction and the end-to-end ApproxFPGAs flow."""
 
-import numpy as np
 import pytest
 
 from repro.core import ApproxFpgasConfig, ApproxFpgasFlow

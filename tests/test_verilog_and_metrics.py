@@ -4,7 +4,7 @@ import numpy as np
 
 from repro.circuits import GateType, structural_metrics, to_verilog
 from repro.circuits.activity import node_signal_probabilities, node_switching_activities
-from repro.generators import ripple_carry_adder, truncated_adder
+from repro.generators import truncated_adder
 
 
 def test_verilog_contains_module_and_ports(multiplier4):
