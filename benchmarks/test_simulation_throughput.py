@@ -1,0 +1,162 @@
+"""Simulation throughput: boolean backend vs packed bit-plane backend.
+
+The workload is the paper's Monte-Carlo error-evaluation inner loop: one
+vectorised simulation pass of an exact multiplier over a seeded operand
+sample, at 8/12/16-bit operand widths.  Two timings are recorded per width:
+
+* **kernel** -- ``simulate_bits`` vs ``simulate_bits_packed`` on the shared
+  input-bit matrix.  This is the per-circuit marginal cost inside
+  :class:`~repro.engine.evaluator.BatchEvaluator`, which expands the operand
+  matrix once per word layout and reuses it for every circuit.
+* **end-to-end** -- ``simulate_words`` (word expansion + simulation +
+  word collapse) under each backend key.
+
+Both backends must be bit-identical; the 16-bit kernel must show at least
+the 4x speedup the packed representation is for.  Set
+``REPRO_BENCH_QUICK=1`` to shrink the workload and drop the wall-clock
+floors (CI smoke / loaded machines).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    bits_to_words,
+    random_operands,
+    simulate_bits,
+    simulate_bits_packed,
+    simulate_words,
+)
+from repro.circuits.simulate import expand_operand_bits
+from repro.generators import array_multiplier
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+NUM_SAMPLES = 4096 if QUICK else 65536
+WIDTHS = (8,) if QUICK else (8, 12, 16)
+
+#: Enforced floors (width -> kernel speedup) in full mode; the measured
+#: margin is ~2x on an idle machine (the 16-bit kernel runs at ~8x).
+KERNEL_SPEEDUP_FLOORS = {16: 4.0}
+END_TO_END_SPEEDUP_FLOOR = 1.8
+
+
+def _best_of(callable_, repeats=2):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_simulation_throughput_bool_vs_bitplane(benchmark):
+    rng = np.random.default_rng(97)
+    rows = []
+
+    def run_workload():
+        for width in WIDTHS:
+            multiplier = array_multiplier(width)
+            operands = random_operands(multiplier, NUM_SAMPLES, rng)
+            input_bits = expand_operand_bits(multiplier, operands)
+
+            bool_kernel_s, bool_bits = _best_of(lambda: simulate_bits(multiplier, input_bits))
+            packed_kernel_s, packed_bits = _best_of(
+                lambda: simulate_bits_packed(multiplier, input_bits)
+            )
+            assert np.array_equal(bool_bits, packed_bits)
+
+            bool_words_s, bool_words = _best_of(
+                lambda: simulate_words(multiplier, operands, backend="bool")
+            )
+            packed_words_s, packed_words = _best_of(
+                lambda: simulate_words(multiplier, operands, backend="bitplane")
+            )
+            assert np.array_equal(bool_words, packed_words)
+            assert np.array_equal(bits_to_words(bool_bits), bool_words)
+
+            rows.append(
+                {
+                    "width": width,
+                    "gates": multiplier.num_gates,
+                    "bool_kernel_s": bool_kernel_s,
+                    "packed_kernel_s": packed_kernel_s,
+                    "kernel_speedup": bool_kernel_s / max(packed_kernel_s, 1e-9),
+                    "bool_words_s": bool_words_s,
+                    "packed_words_s": packed_words_s,
+                    "words_speedup": bool_words_s / max(packed_words_s, 1e-9),
+                }
+            )
+        return rows
+
+    benchmark.pedantic(run_workload, rounds=1, iterations=1)
+
+    print(f"\n=== Simulation throughput: bool vs bitplane ({NUM_SAMPLES} MC patterns) ===")
+    header = (
+        f"{'width':>6} {'gates':>6} {'bool kern':>10} {'packed kern':>12} "
+        f"{'speedup':>8} {'bool e2e':>10} {'packed e2e':>11} {'speedup':>8}"
+    )
+    print(header)
+    for row in rows:
+        print(
+            f"{row['width']:>5}b {row['gates']:>6} "
+            f"{row['bool_kernel_s'] * 1000:>8.1f}ms {row['packed_kernel_s'] * 1000:>10.1f}ms "
+            f"{row['kernel_speedup']:>7.1f}x "
+            f"{row['bool_words_s'] * 1000:>8.1f}ms {row['packed_words_s'] * 1000:>9.1f}ms "
+            f"{row['words_speedup']:>7.1f}x"
+        )
+
+    if not QUICK:
+        by_width = {row["width"]: row for row in rows}
+        for width, floor in KERNEL_SPEEDUP_FLOORS.items():
+            assert by_width[width]["kernel_speedup"] >= floor, by_width[width]
+        assert by_width[16]["words_speedup"] >= END_TO_END_SPEEDUP_FLOOR, by_width[16]
+
+
+def test_streaming_evaluation_memory_and_equivalence():
+    """Chunked Monte-Carlo evaluation bounds the bit-matrix footprint.
+
+    A 16-bit multiplier over 65536 patterns needs a ~patterns x nodes
+    boolean working set per simulation in one-shot mode; streaming in 4096
+    pattern blocks caps it at 1/16th while reproducing the one-shot MED /
+    WCE / error-rate exactly.
+    """
+    from repro.error import ErrorEvaluator
+    from repro.generators import perturb_netlist, truncated_multiplier
+
+    width = 8 if QUICK else 16
+    num_samples = 2048 if QUICK else 65536
+    chunk = 256 if QUICK else 4096
+    reference = array_multiplier(width)
+    circuits = [truncated_multiplier(width, width // 2), perturb_netlist(reference, seed=3)]
+
+    one_shot = ErrorEvaluator(
+        reference, max_exhaustive_inputs=10, num_samples=num_samples, sim_backend="bitplane"
+    )
+    streaming = ErrorEvaluator(
+        reference,
+        max_exhaustive_inputs=10,
+        num_samples=num_samples,
+        sim_backend="bitplane",
+        chunk_patterns=chunk,
+    )
+    start = time.perf_counter()
+    for circuit in circuits:
+        full = one_shot.evaluate(circuit).metrics
+        chunked = streaming.evaluate(circuit).metrics
+        for field in ("med", "mae", "wce", "wce_relative", "error_probability", "mse"):
+            assert getattr(chunked, field) == getattr(full, field), field
+        assert chunked.mre == pytest.approx(full.mre, rel=1e-12)
+    elapsed = time.perf_counter() - start
+
+    one_shot_bytes = num_samples * reference.num_nodes
+    streaming_bytes = chunk * reference.num_nodes
+    print(
+        f"\nstreaming evaluation ({width}-bit multiplier, {num_samples} patterns, "
+        f"chunk={chunk}): working set {one_shot_bytes / 1e6:.0f} MB -> "
+        f"{streaming_bytes / 1e6:.1f} MB, both passes in {elapsed * 1000:.0f} ms"
+    )

@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.2.0",
+    version="1.3.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
@@ -12,6 +12,11 @@ setup(
     extras_require={
         # `pip install -e .[test]` + `python -m pytest -x -q` runs the suite
         # (pytest.ini supplies pythonpath/testpaths for non-installed use).
-        "test": ["pytest>=7.0", "pytest-benchmark>=4.0"],
+        "test": [
+            "pytest>=7.0",
+            "pytest-benchmark>=4.0",
+            "pytest-cov>=4.0",
+            "hypothesis>=6.0",
+        ],
     },
 )

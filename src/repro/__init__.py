@@ -60,6 +60,21 @@ cost models of whole circuit libraries -- is served by :mod:`repro.engine`:
 All flows route their evaluations through one engine, so cache hits are
 shared across every stage of a flow -- and across flows, when runs share an
 :class:`repro.api.ExplorationSession`.
+
+Simulation backends
+-------------------
+Behavioural simulation itself is pluggable through the
+:data:`repro.circuits.SIM_BACKENDS` registry: ``"bool"`` is the original
+one-byte-per-pattern implementation and ``"bitplane"``
+(:mod:`repro.circuits.bitplane`) packs 64 patterns into each ``uint64``
+lane for a several-fold speedup on large pattern counts.  Backends are
+bit-identical by contract -- enforced by the differential suite
+(``pytest -m sim_backends``) -- so evaluators default to ``"auto"``
+workload-size selection and cached results are shared across backends.
+For operand widths whose pattern sets are too large for one allocation,
+:class:`repro.error.ErrorAccumulator` accumulates MED/WCE/error-rate over
+streamed pattern blocks (``ErrorEvaluator(..., chunk_patterns=...)``),
+keeping peak memory flat.
 """
 
 from .api import (
@@ -79,7 +94,7 @@ from .core import ApproxFpgasConfig, ApproxFpgasFlow, run_approxfpgas
 from .engine import BatchEvaluator, EvalCache
 from .generators import CircuitLibrary, build_adder_library, build_multiplier_library
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ApproxFpgasConfig",

@@ -63,6 +63,12 @@ class ExplorationSession:
     engine_mode / max_workers:
         Forwarded to every :class:`BatchEvaluator` the session builds
         (``"auto"`` fans large miss sets out over a process pool).
+    sim_backend:
+        Simulation backend for error evaluation (``"bool"``, ``"bitplane"``
+        or ``"auto"``, see :data:`repro.circuits.SIM_BACKENDS`); forwarded
+        to every engine the session builds.  Backends are bit-identical, so
+        this only affects speed (and cached results are shared across
+        backends).
     """
 
     def __init__(
@@ -75,6 +81,7 @@ class ExplorationSession:
         asic_synthesizer: Union[str, object] = "asic",
         engine_mode: str = "auto",
         max_workers: Optional[int] = None,
+        sim_backend: str = "auto",
     ):
         self.seed = seed
         self.workspace = Path(workspace) if workspace is not None else None
@@ -89,6 +96,7 @@ class ExplorationSession:
         self.asic_synthesizer = resolve_synthesizer(asic_synthesizer)
         self.engine_mode = engine_mode
         self.max_workers = max_workers
+        self.sim_backend = sim_backend
         self._engines: Dict[str, BatchEvaluator] = {}
         self.runs: Dict[str, PipelineRun] = {}
         """Run id -> the most recent :class:`PipelineRun` (stage timings,
@@ -117,6 +125,7 @@ class ExplorationSession:
                 cache=self.cache,
                 mode=self.engine_mode,
                 max_workers=self.max_workers,
+                sim_backend=self.sim_backend,
             )
             self._engines[key] = engine
         return engine

@@ -1,14 +1,33 @@
 """Gate-level circuit intermediate representation and simulation."""
 
-from .gates import GATE_ARITY, GateType, evaluate_gate, gate_truth_table
+from .gates import (
+    GATE_ARITY,
+    PACKED_GATE_FUNCTIONS,
+    GateType,
+    evaluate_gate,
+    evaluate_gate_packed,
+    gate_truth_table,
+)
 from .netlist import Gate, Netlist, NetlistError
 from .builder import NetlistBuilder
 from .metrics import StructuralMetrics, gate_type_counts, structural_metrics
+from .bitplane import (
+    PLANE_WIDTH,
+    num_planes,
+    pack_bits,
+    simulate_bits_packed,
+    simulate_planes,
+    unpack_bits,
+)
 from .simulate import (
+    AUTO_BACKEND_MIN_PATTERNS,
+    DEFAULT_SIM_BACKEND,
+    SIM_BACKENDS,
     bits_to_words,
     exhaustive_operands,
     exhaustive_simulate,
     random_operands,
+    resolve_sim_backend,
     simulate_bits,
     simulate_words,
     words_to_bits,
@@ -17,8 +36,10 @@ from .verilog import to_verilog
 
 __all__ = [
     "GATE_ARITY",
+    "PACKED_GATE_FUNCTIONS",
     "GateType",
     "evaluate_gate",
+    "evaluate_gate_packed",
     "gate_truth_table",
     "Gate",
     "Netlist",
@@ -27,10 +48,20 @@ __all__ = [
     "StructuralMetrics",
     "gate_type_counts",
     "structural_metrics",
+    "PLANE_WIDTH",
+    "num_planes",
+    "pack_bits",
+    "simulate_bits_packed",
+    "simulate_planes",
+    "unpack_bits",
+    "AUTO_BACKEND_MIN_PATTERNS",
+    "DEFAULT_SIM_BACKEND",
+    "SIM_BACKENDS",
     "bits_to_words",
     "exhaustive_operands",
     "exhaustive_simulate",
     "random_operands",
+    "resolve_sim_backend",
     "simulate_bits",
     "simulate_words",
     "words_to_bits",

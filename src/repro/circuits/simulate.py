@@ -1,17 +1,33 @@
 """Vectorised behavioural simulation of gate-level netlists.
 
-All simulation is bit-parallel over NumPy boolean arrays: a single pass over
-the gate list evaluates the circuit for an arbitrary number of input
-patterns.  This is the "behavioural model" counterpart of the C models that
-ship with EvoApproxLib in the original paper.
+All simulation is bit-parallel over the gate list: a single pass evaluates
+the circuit for an arbitrary number of input patterns.  This is the
+"behavioural model" counterpart of the C models that ship with EvoApproxLib
+in the original paper.
+
+Two interchangeable backends implement the pass, registered in the
+:data:`SIM_BACKENDS` registry:
+
+* ``"bool"`` -- :func:`simulate_bits`, one NumPy ``bool`` byte per pattern
+  per net (the original implementation, and the default).
+* ``"bitplane"`` -- :func:`~repro.circuits.bitplane.simulate_bits_packed`,
+  64 patterns packed per ``uint64`` lane; bit-identical outputs, much
+  faster on large pattern counts.
+
+Backends are *bit-identical by contract*: the differential suite
+(``pytest -m sim_backends``) asserts it, and downstream caches rely on it.
+Callers pick one by key, or pass ``"auto"`` to let the workload size decide
+(:func:`resolve_sim_backend`).
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from ..registry import Registry
+from .bitplane import simulate_bits_packed
 from .gates import evaluate_gate
 from .netlist import Netlist
 
@@ -41,11 +57,71 @@ def simulate_bits(netlist: Netlist, input_bits: np.ndarray) -> np.ndarray:
     return outputs
 
 
+# --------------------------------------------------------------------- #
+# Backend registry and selection
+# --------------------------------------------------------------------- #
+#: Registry of simulation backends: key -> ``(netlist, input_bits) -> output
+#: bits``.  All registered backends must be bit-identical; alternative
+#: implementations (e.g. a future native kernel) plug in by registering a
+#: key here.
+SIM_BACKENDS = Registry(
+    "simulation backend",
+    {"bool": simulate_bits, "bitplane": simulate_bits_packed},
+)
+
+#: Default backend when none is requested (the legacy implementation).
+DEFAULT_SIM_BACKEND = "bool"
+
+#: ``"auto"`` picks the packed backend from this many patterns upward; below
+#: it the packing overhead is not worth it and the bool backend wins.
+AUTO_BACKEND_MIN_PATTERNS = 1024
+
+SimBackend = Union[None, str, Callable[[Netlist, np.ndarray], np.ndarray]]
+
+
+def resolve_sim_backend(
+    backend: SimBackend = None, *, patterns: Optional[int] = None
+) -> Callable[[Netlist, np.ndarray], np.ndarray]:
+    """Resolve a backend selector to a simulation callable.
+
+    ``backend`` may be ``None`` (the ``"bool"`` default), a
+    :data:`SIM_BACKENDS` key, ``"auto"`` (pick by ``patterns``: the packed
+    backend from :data:`AUTO_BACKEND_MIN_PATTERNS` patterns upward), or a
+    ready simulation callable, which is returned unchanged.  Unknown keys
+    raise :class:`~repro.registry.RegistryError` listing the available
+    backends.
+    """
+    if backend is None:
+        backend = DEFAULT_SIM_BACKEND
+    if callable(backend):
+        return backend
+    if backend == "auto":
+        if patterns is not None and patterns >= AUTO_BACKEND_MIN_PATTERNS:
+            backend = "bitplane"
+        else:
+            backend = DEFAULT_SIM_BACKEND
+    return SIM_BACKENDS.get(backend)
+
+
 def words_to_bits(values: np.ndarray, width: int) -> np.ndarray:
-    """Expand unsigned integers into a (n, width) boolean matrix, LSB first."""
-    values = np.asarray(values, dtype=np.int64)
-    if np.any(values < 0) or np.any(values >= (1 << width)):
+    """Expand unsigned integers into a (n, width) boolean matrix, LSB first.
+
+    Operands must have an integer (or boolean) dtype: floating-point values
+    used to slip through and truncate silently, so they are rejected, as are
+    values outside the unsigned ``width``-bit range (checked in the original
+    dtype, before any conversion could wrap around).
+    """
+    values = np.asarray(values)
+    if values.dtype != np.bool_ and (
+        values.dtype == object or not np.issubdtype(values.dtype, np.integer)
+    ):
+        raise TypeError(
+            f"operand values must be integers, got dtype {values.dtype} "
+            "(floating-point operands would be truncated silently)"
+        )
+    if values.size and (int(values.min()) < 0 or int(values.max()) >= (1 << width)):
         raise ValueError(f"operand values out of range for a {width}-bit unsigned word")
+    values = values.astype(np.int64, copy=False)
     shifts = np.arange(width, dtype=np.int64)
     return ((values[:, None] >> shifts[None, :]) & 1).astype(bool)
 
@@ -58,11 +134,16 @@ def bits_to_words(bits: np.ndarray) -> np.ndarray:
     return bits.astype(np.int64) @ weights
 
 
-def simulate_words(netlist: Netlist, operands: Mapping[str, Sequence[int]]) -> np.ndarray:
-    """Simulate the netlist on integer operand vectors.
+def expand_operand_bits(
+    netlist: Netlist, operands: Mapping[str, Sequence[int]]
+) -> np.ndarray:
+    """Expand word-level operand vectors into the netlist's input-bit matrix.
 
-    ``operands`` must provide a value array for every input word of the
-    netlist; all arrays must have the same length.
+    Returns the (patterns, num_inputs) boolean matrix every simulation
+    backend consumes, with each word's bits scattered to its primary-input
+    node ids.  This is the single implementation of the word-to-bit layout;
+    the batch evaluator and the benchmarks reuse it so they measure exactly
+    what production simulates.
     """
     missing = set(netlist.input_words) - set(operands)
     if missing:
@@ -77,7 +158,24 @@ def simulate_words(netlist: Netlist, operands: Mapping[str, Sequence[int]]) -> n
         word_bits = words_to_bits(np.asarray(operands[name]), len(bit_ids))
         for position, node_id in enumerate(bit_ids):
             input_bits[:, node_id] = word_bits[:, position]
-    output_bits = simulate_bits(netlist, input_bits)
+    return input_bits
+
+
+def simulate_words(
+    netlist: Netlist,
+    operands: Mapping[str, Sequence[int]],
+    backend: SimBackend = None,
+) -> np.ndarray:
+    """Simulate the netlist on integer operand vectors.
+
+    ``operands`` must provide a value array for every input word of the
+    netlist; all arrays must have the same length.  ``backend`` selects the
+    simulation backend (see :func:`resolve_sim_backend`); all backends are
+    bit-identical, so this only affects speed.
+    """
+    input_bits = expand_operand_bits(netlist, operands)
+    simulate = resolve_sim_backend(backend, patterns=input_bits.shape[0])
+    output_bits = simulate(netlist, input_bits)
     return bits_to_words(output_bits)
 
 
@@ -89,18 +187,20 @@ def exhaustive_operands(netlist: Netlist) -> Mapping[str, np.ndarray]:
     return {name: grid.reshape(-1) for name, grid in zip(names, grids)}
 
 
-def exhaustive_simulate(netlist: Netlist) -> np.ndarray:
+def exhaustive_simulate(netlist: Netlist, backend: SimBackend = None) -> np.ndarray:
     """Output word for every input combination.
 
     The number of patterns is ``2 ** num_inputs``; callers are expected to use
-    this only for circuits with at most ~20 input bits.
+    this only for circuits with at most ~20 input bits (for wider circuits,
+    use sampled simulation, or stream fixed-size pattern blocks through an
+    :class:`~repro.error.metrics.ErrorAccumulator`).
     """
     if netlist.num_inputs > 24:
         raise ValueError(
             f"exhaustive simulation of {netlist.num_inputs} input bits is "
             "infeasible; use sampled simulation instead"
         )
-    return simulate_words(netlist, exhaustive_operands(netlist))
+    return simulate_words(netlist, exhaustive_operands(netlist), backend=backend)
 
 
 def random_operands(

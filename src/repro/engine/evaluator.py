@@ -8,7 +8,9 @@ circuits.  It combines three mechanisms:
   reference outputs are simulated once, the stacked operand matrices are
   expanded to input-bit matrices once per word layout, and each circuit is
   evaluated with a single vectorised pass over all patterns (the per-circuit
-  work reduces to ``simulate_bits`` + ``bits_to_words``).
+  work reduces to one simulation-backend call + ``bits_to_words``; the
+  backend -- boolean or packed bit-plane -- is selected by the
+  ``sim_backend`` knob and never changes results or cache keys).
 * **Caching** -- every result is stored in an :class:`~repro.engine.cache.EvalCache`
   under a key derived from the circuit's structural fingerprint and the full
   evaluation context, so repeated evaluations (flow stages, coverage passes,
@@ -28,7 +30,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..asic import AsicReport, AsicSynthesizer
-from ..circuits import Netlist, bits_to_words, simulate_bits, words_to_bits
+from ..circuits import (
+    Netlist,
+    bits_to_words,
+    pack_bits,
+    resolve_sim_backend,
+    simulate_bits_packed,
+    simulate_planes,
+    unpack_bits,
+)
+from ..circuits.simulate import expand_operand_bits
 from ..error import ErrorEvaluator, ErrorReport
 from ..error.metrics import ErrorMetrics, compute_error_metrics
 from ..fpga import FpgaReport, FpgaSynthesizer
@@ -88,8 +99,10 @@ def _payload_to_fpga_report(payload: dict, circuit_name: str) -> FpgaReport:
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _worker_errors(task: Tuple[str, Netlist, int, int, int, List[Netlist]]) -> List[dict]:
-    context, reference, max_exhaustive_inputs, num_samples, seed, circuits = task
+def _worker_errors(
+    task: Tuple[str, Netlist, int, int, int, str, Optional[int], List[Netlist]]
+) -> List[dict]:
+    context, reference, max_exhaustive_inputs, num_samples, seed, backend, chunk, circuits = task
     evaluator = _WORKER_STATE.get(context)
     if evaluator is None:
         evaluator = ErrorEvaluator(
@@ -97,6 +110,8 @@ def _worker_errors(task: Tuple[str, Netlist, int, int, int, List[Netlist]]) -> L
             max_exhaustive_inputs=max_exhaustive_inputs,
             num_samples=num_samples,
             seed=seed,
+            sim_backend=backend,
+            chunk_patterns=chunk,
         )
         _WORKER_STATE[context] = evaluator
     return [_error_report_to_payload(evaluator.evaluate(circuit)) for circuit in circuits]
@@ -155,6 +170,14 @@ class BatchEvaluator:
         modes produce bit-identical, input-ordered results.
     max_workers:
         Process-pool width (defaults to the CPU count).
+    sim_backend:
+        Simulation backend key for error evaluation (``"bool"``,
+        ``"bitplane"`` or ``"auto"``, see
+        :data:`repro.circuits.SIM_BACKENDS`).  Backends are bit-identical
+        by contract, so the key is deliberately *not* part of cache keys:
+        results computed under one backend are served to every other.
+        ``None`` inherits from ``error_evaluator`` when one is passed and
+        falls back to ``"auto"``.
     """
 
     def __init__(
@@ -171,6 +194,7 @@ class BatchEvaluator:
         max_exhaustive_inputs: int = 18,
         num_samples: int = 8192,
         seed: int = 1234,
+        sim_backend: Optional[str] = None,
     ):
         if mode not in ("auto", "serial", "process"):
             raise ValueError(f"unknown engine mode {mode!r}")
@@ -179,18 +203,27 @@ class BatchEvaluator:
         self.parallel_threshold = parallel_threshold
         self.cache = cache if cache is not None else EvalCache()
 
+        if sim_backend is None:
+            sim_backend = (
+                error_evaluator.sim_backend if error_evaluator is not None else "auto"
+            )
+        resolve_sim_backend(sim_backend, patterns=0)  # fail fast on unknown keys
+        self.sim_backend = sim_backend
+
         if error_evaluator is None and reference is not None:
             error_evaluator = ErrorEvaluator(
                 reference,
                 max_exhaustive_inputs=max_exhaustive_inputs,
                 num_samples=num_samples,
                 seed=seed,
+                sim_backend=sim_backend,
             )
         self.error_evaluator = error_evaluator
         self.asic_synthesizer = asic_synthesizer
         self.fpga_synthesizer = fpga_synthesizer
 
         self._layout_bits: Dict[Tuple, np.ndarray] = {}
+        self._layout_planes: Dict[Tuple, np.ndarray] = {}
         self._error_context: Optional[str] = None
         self._asic_context: Optional[str] = None
         self._fpga_context: Optional[str] = None
@@ -207,9 +240,15 @@ class BatchEvaluator:
         return self.error_evaluator
 
     def _error_ctx(self) -> str:
+        # The simulation backend is deliberately excluded: backends are
+        # bit-identical by contract (enforced by the differential suite), so
+        # results cached under one backend must be shared with every other.
+        # Streaming (chunk_patterns) is included when active because the
+        # accumulator's float metrics can differ from one-shot values in the
+        # last ulp; the default one-shot token is unchanged.
         if self._error_context is None:
             evaluator = self._require_error_evaluator()
-            self._error_context = blake_token(
+            parts = [
                 evaluator.reference.fingerprint(),
                 evaluator.method,
                 evaluator.num_patterns,
@@ -217,7 +256,10 @@ class BatchEvaluator:
                 evaluator.num_samples,
                 evaluator.seed,
                 evaluator.max_output,
-            )
+            ]
+            if evaluator.streaming:
+                parts.append(f"chunk={evaluator.chunk_patterns}")
+            self._error_context = blake_token(*parts)
         return self._error_context
 
     def _asic_ctx(self) -> str:
@@ -249,25 +291,47 @@ class BatchEvaluator:
     # ------------------------------------------------------------------ #
     # Batched error evaluation: shared operands, one bit-expansion per layout
     # ------------------------------------------------------------------ #
+    def _layout_of(self, circuit: Netlist) -> Tuple:
+        return tuple(sorted((name, tuple(bits)) for name, bits in circuit.input_words.items()))
+
     def _input_bits_for(self, circuit: Netlist) -> np.ndarray:
-        evaluator = self._require_error_evaluator()
-        layout = tuple(sorted((name, tuple(bits)) for name, bits in circuit.input_words.items()))
+        layout = self._layout_of(circuit)
         bits = self._layout_bits.get(layout)
         if bits is None:
-            operands = evaluator.operands
-            patterns = evaluator.num_patterns
-            bits = np.zeros((patterns, circuit.num_inputs), dtype=bool)
-            for name, bit_ids in circuit.input_words.items():
-                word_bits = words_to_bits(np.asarray(operands[name]), len(bit_ids))
-                for position, node_id in enumerate(bit_ids):
-                    bits[:, node_id] = word_bits[:, position]
+            evaluator = self._require_error_evaluator()
+            bits = expand_operand_bits(circuit, evaluator.operands)
             self._layout_bits[layout] = bits
         return bits
 
+    def _input_planes_for(self, circuit: Netlist) -> np.ndarray:
+        """Packed input planes, cached per word layout like the bit matrix.
+
+        The packed backend would otherwise re-pack the shared bit matrix on
+        every circuit; packing once per layout keeps the per-circuit cost at
+        one `simulate_planes` pass.
+        """
+        layout = self._layout_of(circuit)
+        planes = self._layout_planes.get(layout)
+        if planes is None:
+            planes = pack_bits(self._input_bits_for(circuit).T)
+            self._layout_planes[layout] = planes
+        return planes
+
     def _compute_error_report(self, circuit: Netlist) -> ErrorReport:
         evaluator = self._require_error_evaluator()
+        if evaluator.streaming:
+            # Streaming evaluators bound peak memory by the chunk size; the
+            # shared full-size input-bit matrix would defeat that, so
+            # delegate to the evaluator's own chunked loop.
+            return evaluator.evaluate(circuit)
         evaluator.check_interface(circuit)
-        outputs = bits_to_words(simulate_bits(circuit, self._input_bits_for(circuit)))
+        simulate = resolve_sim_backend(self.sim_backend, patterns=evaluator.num_patterns)
+        if simulate is simulate_bits_packed:
+            output_planes = simulate_planes(circuit, self._input_planes_for(circuit))
+            output_bits = unpack_bits(output_planes, evaluator.num_patterns).T
+        else:
+            output_bits = simulate(circuit, self._input_bits_for(circuit))
+        outputs = bits_to_words(output_bits)
         metrics = compute_error_metrics(
             evaluator.exact_outputs, outputs, evaluator.max_output
         )
@@ -367,6 +431,8 @@ class BatchEvaluator:
                 evaluator.max_exhaustive_inputs,
                 evaluator.num_samples,
                 evaluator.seed,
+                self.sim_backend,
+                evaluator.chunk_patterns,
                 chunk,
             ),
             worker=_worker_errors,

@@ -5,17 +5,32 @@ the paper does for 8-bit operands.  Larger circuits (12x12 and 16x16
 multipliers would need 2^24 and 2^32 patterns) are evaluated with a seeded
 Monte-Carlo sample, which is the standard practice when exhaustive
 enumeration is infeasible.
+
+Simulation runs on a pluggable backend (see
+:data:`repro.circuits.SIM_BACKENDS`): the default ``"auto"`` selection uses
+the packed bit-plane backend on large pattern counts and the boolean
+backend on small ones; all backends are bit-identical, so the choice only
+affects speed.  For wide operands, ``chunk_patterns`` streams the
+evaluation over fixed-size pattern blocks through an
+:class:`~repro.error.metrics.ErrorAccumulator`, keeping peak memory flat
+regardless of the pattern count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
 from ..circuits import Netlist
-from ..circuits.simulate import exhaustive_operands, random_operands, simulate_words
-from .metrics import ErrorMetrics, compute_error_metrics
+from ..circuits.simulate import (
+    exhaustive_operands,
+    random_operands,
+    resolve_sim_backend,
+    simulate_words,
+)
+from .metrics import ErrorAccumulator, ErrorMetrics, compute_error_metrics
 
 
 @dataclass(frozen=True)
@@ -49,6 +64,15 @@ class ErrorEvaluator:
     seed:
         Seed for the Monte-Carlo operand generator (the same operands are
         reused for every circuit so results are comparable).
+    sim_backend:
+        Simulation backend key (``"bool"``, ``"bitplane"``) or ``"auto"``
+        (the default: pick by pattern count).  Backends are bit-identical;
+        this knob only affects speed.
+    chunk_patterns:
+        When set, simulation and metric computation stream over pattern
+        blocks of at most this size (via :class:`ErrorAccumulator`), so
+        peak memory is bounded by the block size instead of the full
+        pattern count.  ``None`` (the default) evaluates in one shot.
     """
 
     def __init__(
@@ -57,11 +81,18 @@ class ErrorEvaluator:
         max_exhaustive_inputs: int = 18,
         num_samples: int = 8192,
         seed: int = 1234,
+        sim_backend: str = "auto",
+        chunk_patterns: Optional[int] = None,
     ):
+        if chunk_patterns is not None and chunk_patterns <= 0:
+            raise ValueError("chunk_patterns must be positive (or None for one-shot)")
+        resolve_sim_backend(sim_backend, patterns=0)  # fail fast on unknown keys
         self.reference = reference
         self.max_exhaustive_inputs = max_exhaustive_inputs
         self.num_samples = num_samples
         self.seed = seed
+        self.sim_backend = sim_backend
+        self.chunk_patterns = chunk_patterns
 
         if reference.num_inputs <= max_exhaustive_inputs:
             self._operands = exhaustive_operands(reference)
@@ -70,8 +101,42 @@ class ErrorEvaluator:
             rng = np.random.default_rng(seed)
             self._operands = random_operands(reference, num_samples, rng)
             self._method = "monte_carlo"
-        self._exact_outputs = simulate_words(reference, self._operands)
+        self._num_patterns = int(len(next(iter(self._operands.values()))))
         self._max_output = (1 << reference.num_outputs) - 1
+        self._exact_outputs = self._simulate(reference)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def streaming(self) -> bool:
+        """Whether evaluation actually streams over pattern blocks.
+
+        A ``chunk_patterns`` at or above the pattern count degenerates to
+        the one-shot path (and produces literally the same computation), so
+        it does not count as streaming -- the engine keys its cache off this
+        property.
+        """
+        return self.chunk_patterns is not None and self.chunk_patterns < self._num_patterns
+
+    def _blocks(self) -> Iterator[Tuple[int, int]]:
+        """(start, stop) pattern ranges of at most ``chunk_patterns`` each."""
+        step = self.chunk_patterns or self._num_patterns
+        for start in range(0, self._num_patterns, step):
+            yield start, min(start + step, self._num_patterns)
+
+    def _simulate(self, circuit: Netlist) -> np.ndarray:
+        """Output word on the shared operands, chunked when configured."""
+        if not self.streaming:
+            return simulate_words(circuit, self._operands, backend=self.sim_backend)
+        return np.concatenate(
+            [
+                simulate_words(
+                    circuit,
+                    {name: values[start:stop] for name, values in self._operands.items()},
+                    backend=self.sim_backend,
+                )
+                for start, stop in self._blocks()
+            ]
+        )
 
     @property
     def method(self) -> str:
@@ -116,8 +181,18 @@ class ErrorEvaluator:
     def evaluate(self, circuit: Netlist) -> ErrorReport:
         """Error metrics of ``circuit`` against the reference."""
         self._check_interface(circuit)
-        approx_outputs = simulate_words(circuit, self._operands)
-        metrics = compute_error_metrics(self._exact_outputs, approx_outputs, self._max_output)
+        if not self.streaming:
+            approx_outputs = simulate_words(circuit, self._operands, backend=self.sim_backend)
+            metrics = compute_error_metrics(
+                self._exact_outputs, approx_outputs, self._max_output
+            )
+        else:
+            accumulator = ErrorAccumulator(self._max_output)
+            for start, stop in self._blocks():
+                block = {name: values[start:stop] for name, values in self._operands.items()}
+                approx_block = simulate_words(circuit, block, backend=self.sim_backend)
+                accumulator.update(self._exact_outputs[start:stop], approx_block)
+            metrics = accumulator.result()
         return ErrorReport(
             circuit_name=circuit.name,
             metrics=metrics,
@@ -132,6 +207,8 @@ def evaluate_error(
     max_exhaustive_inputs: int = 18,
     num_samples: int = 8192,
     seed: int = 1234,
+    sim_backend: str = "auto",
+    chunk_patterns: Optional[int] = None,
 ) -> ErrorReport:
     """One-shot convenience wrapper around :class:`ErrorEvaluator`."""
     evaluator = ErrorEvaluator(
@@ -139,5 +216,7 @@ def evaluate_error(
         max_exhaustive_inputs=max_exhaustive_inputs,
         num_samples=num_samples,
         seed=seed,
+        sim_backend=sim_backend,
+        chunk_patterns=chunk_patterns,
     )
     return evaluator.evaluate(circuit)

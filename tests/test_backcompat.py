@@ -2,6 +2,8 @@
 
 * Seeded equivalence: `ApproxFpgasFlow` / `run_approxfpgas` / `AutoAxFpgaFlow`
   and the new `ExplorationSession` pipeline path produce identical results.
+* Simulation-backend equivalence: the same seeded runs are bit-identical
+  under the `"bool"` and `"bitplane"` simulation backends.
 * The legacy entry points emit no deprecation warnings -- CI runs this file
   with ``-W error::DeprecationWarning`` to keep it that way.
 """
@@ -146,6 +148,47 @@ class TestAutoAxEquivalence:
 
     def test_autoax_flow_alias(self):
         assert AutoAxFlow is AutoAxFpgaFlow
+
+
+class TestSimBackendEquivalence:
+    """Whole-flow results do not depend on the simulation backend."""
+
+    @pytest.mark.sim_backends
+    def test_approxfpgas_bit_identical_across_backends(self, small_multiplier_library, config):
+        results = {}
+        for backend in ("bool", "bitplane"):
+            session = ExplorationSession(seed=config.seed, sim_backend=backend)
+            results[backend] = session.run_approxfpgas(small_multiplier_library, config)
+        assert canonical_result(results["bool"]) == canonical_result(results["bitplane"])
+
+    @pytest.mark.sim_backends
+    def test_autoax_bit_identical_across_backends(self, autoax_parts):
+        from repro.engine import BatchEvaluator
+        from repro.generators import build_adder_library, build_multiplier_library
+
+        multiplier_library = build_multiplier_library(8, size=20, seed=31)
+        adder_library = build_adder_library(16, size=16, seed=37)
+        _, _, autoax_config = autoax_parts
+
+        signatures = {}
+        for backend in ("bool", "bitplane"):
+            multipliers = components_from_library(
+                multiplier_library,
+                4,
+                max_error=0.1,
+                engine=BatchEvaluator(multiplier_library.reference(), sim_backend=backend),
+            )
+            adders = components_from_library(
+                adder_library,
+                4,
+                max_error=0.05,
+                engine=BatchEvaluator(adder_library.reference(), sim_backend=backend),
+            )
+            session = ExplorationSession(seed=autoax_config.seed, sim_backend=backend)
+            signatures[backend] = autoax_signature(
+                session.run_autoax(multipliers, adders, autoax_config)
+            )
+        assert signatures["bool"] == signatures["bitplane"]
 
 
 class TestNoDeprecationWarnings:

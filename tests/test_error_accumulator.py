@@ -1,0 +1,130 @@
+"""Property tests for the incremental :class:`repro.error.ErrorAccumulator`.
+
+The contract under test: folding a stream of output blocks through the
+accumulator -- over *any* block-size partition -- yields the same metrics as
+the one-shot :func:`compute_error_metrics` on the concatenated vectors.  The
+count-based metrics are exact by construction (arbitrary-precision integer
+sums); ``mse`` is exact while its float64 partial sums stay
+integer-representable (always true for this project's operand widths) and
+``mre`` matches to within last-ulp accumulation order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.error import ErrorAccumulator, compute_error_metrics
+
+EXACT_FIELDS = ("med", "mae", "wce", "wce_relative", "error_probability", "mse")
+
+
+def assert_matches_one_shot(accumulated, one_shot):
+    for field in EXACT_FIELDS:
+        assert getattr(accumulated, field) == getattr(one_shot, field), field
+    assert accumulated.mre == pytest.approx(one_shot.mre, rel=1e-12)
+
+
+paired_vectors = st.integers(min_value=1, max_value=120).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(min_value=0, max_value=2**20), min_size=n, max_size=n),
+        st.lists(st.integers(min_value=0, max_value=2**20), min_size=n, max_size=n),
+    )
+)
+
+
+@settings(max_examples=100)
+@given(vectors=paired_vectors, data=st.data())
+def test_any_partition_matches_one_shot(vectors, data):
+    exact = np.array(vectors[0], dtype=np.int64)
+    approx = np.array(vectors[1], dtype=np.int64)
+    max_output = 2**20
+    one_shot = compute_error_metrics(exact, approx, max_output)
+
+    # Draw an arbitrary ordered partition of [0, n) into contiguous blocks.
+    n = len(exact)
+    cuts = data.draw(
+        st.lists(st.integers(min_value=0, max_value=n), max_size=8).map(sorted),
+        label="cuts",
+    )
+    bounds = [0] + cuts + [n]
+    accumulator = ErrorAccumulator(max_output)
+    for start, stop in zip(bounds, bounds[1:]):
+        accumulator.update(exact[start:stop], approx[start:stop])  # empty blocks are no-ops
+    assert accumulator.count == n
+    assert_matches_one_shot(accumulator.result(), one_shot)
+
+
+@settings(max_examples=50)
+@given(vectors=paired_vectors)
+def test_single_block_is_bit_identical(vectors):
+    """A one-block stream reproduces compute_error_metrics exactly, mre included."""
+    exact = np.array(vectors[0], dtype=np.int64)
+    approx = np.array(vectors[1], dtype=np.int64)
+    accumulator = ErrorAccumulator(2**20).update(exact, approx)
+    assert accumulator.result() == compute_error_metrics(exact, approx, 2**20)
+
+
+@settings(max_examples=50)
+@given(vectors=paired_vectors, split=st.integers(min_value=0, max_value=120))
+def test_merge_matches_sequential_update(vectors, split):
+    exact = np.array(vectors[0], dtype=np.int64)
+    approx = np.array(vectors[1], dtype=np.int64)
+    split = min(split, len(exact))
+
+    sequential = ErrorAccumulator(2**20).update(exact, approx)
+    left = ErrorAccumulator(2**20).update(exact[:split], approx[:split])
+    right = ErrorAccumulator(2**20).update(exact[split:], approx[split:])
+    merged = left.merge(right)
+    assert merged.count == sequential.count
+    assert_matches_one_shot(merged.result(), sequential.result())
+
+
+def test_fixed_point_example_every_partition():
+    """Every contiguous 2-block partition of a small vector is exact."""
+    exact = np.array([0, 10, 20, 30, 40, 55, 3, 9])
+    approx = np.array([0, 12, 20, 26, 45, 55, 0, 9])
+    one_shot = compute_error_metrics(exact, approx, max_output=100)
+    for split in range(len(exact) + 1):
+        accumulator = ErrorAccumulator(100)
+        accumulator.update(exact[:split], approx[:split])
+        accumulator.update(exact[split:], approx[split:])
+        assert_matches_one_shot(accumulator.result(), one_shot)
+
+
+def test_empty_accumulator_raises():
+    with pytest.raises(ValueError):
+        ErrorAccumulator(100).result()
+
+
+def test_invalid_max_output():
+    with pytest.raises(ValueError):
+        ErrorAccumulator(0)
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        ErrorAccumulator(100).update(np.arange(3), np.arange(4))
+
+
+def test_float_outputs_rejected():
+    """Same contract as words_to_bits: floats would truncate silently."""
+    with pytest.raises(TypeError):
+        ErrorAccumulator(100).update(np.array([3.0, 4.7]), np.array([3, 4]))
+    with pytest.raises(TypeError):
+        compute_error_metrics(np.array([3, 4]), np.array([3.0, 4.7]), 100)
+
+
+def test_merge_rejects_mismatched_max_output():
+    with pytest.raises(ValueError):
+        ErrorAccumulator(100).merge(ErrorAccumulator(200))
+
+
+def test_count_property():
+    accumulator = ErrorAccumulator(100)
+    assert accumulator.count == 0
+    accumulator.update(np.arange(5), np.arange(5))
+    accumulator.update(np.arange(3), np.arange(3))
+    assert accumulator.count == 8

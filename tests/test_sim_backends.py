@@ -1,0 +1,366 @@
+"""Differential tests of the simulation backends (``-m sim_backends``).
+
+The ``"bool"`` and ``"bitplane"`` backends must be *bit-identical* on every
+netlist and every pattern count -- caches and flows rely on it (backend keys
+are deliberately absent from engine cache keys).  This suite checks the
+contract three ways:
+
+* unit parity of every packed gate kernel against its boolean truth table;
+* a seeded differential sweep over hundreds of randomly perturbed netlists
+  and pattern counts (including non-multiples of 64 and floating
+  ``gate.a/b == -1`` operands);
+* hypothesis-driven random netlist/pattern generation on top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    AUTO_BACKEND_MIN_PATTERNS,
+    PLANE_WIDTH,
+    SIM_BACKENDS,
+    Gate,
+    GateType,
+    Netlist,
+    evaluate_gate,
+    evaluate_gate_packed,
+    num_planes,
+    pack_bits,
+    resolve_sim_backend,
+    simulate_bits,
+    simulate_bits_packed,
+    simulate_planes,
+    simulate_words,
+    unpack_bits,
+)
+from repro.engine import BatchEvaluator, EvalCache
+from repro.error import ErrorEvaluator
+from repro.generators import array_multiplier, perturb_netlist, ripple_carry_adder
+from repro.generators.perturbation import PerturbationConfig
+from repro.registry import RegistryError
+
+pytestmark = pytest.mark.sim_backends
+
+
+def random_input_bits(netlist: Netlist, patterns: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.random((patterns, netlist.num_inputs)) < 0.5
+
+
+def assert_backends_agree(netlist: Netlist, input_bits: np.ndarray) -> None:
+    reference = simulate_bits(netlist, input_bits)
+    packed = simulate_bits_packed(netlist, input_bits)
+    assert packed.dtype == reference.dtype
+    assert packed.shape == reference.shape
+    assert np.array_equal(reference, packed)
+
+
+# --------------------------------------------------------------------- #
+# Registry and selection
+# --------------------------------------------------------------------- #
+class TestBackendRegistry:
+    def test_builtin_keys(self):
+        assert list(SIM_BACKENDS) == ["bool", "bitplane"]
+        assert SIM_BACKENDS.get("bool") is simulate_bits
+        assert SIM_BACKENDS.get("bitplane") is simulate_bits_packed
+
+    def test_unknown_key_lists_available(self):
+        with pytest.raises(RegistryError, match="bitplane"):
+            resolve_sim_backend("cuda")
+
+    def test_default_is_bool(self):
+        assert resolve_sim_backend() is simulate_bits
+        assert resolve_sim_backend(None, patterns=10**9) is simulate_bits
+
+    def test_auto_selects_by_pattern_count(self):
+        assert resolve_sim_backend("auto", patterns=AUTO_BACKEND_MIN_PATTERNS - 1) is simulate_bits
+        assert (
+            resolve_sim_backend("auto", patterns=AUTO_BACKEND_MIN_PATTERNS)
+            is simulate_bits_packed
+        )
+        assert resolve_sim_backend("auto") is simulate_bits
+
+    def test_callable_passes_through(self):
+        def custom(netlist, bits):  # pragma: no cover - identity placeholder
+            return simulate_bits(netlist, bits)
+
+        assert resolve_sim_backend(custom) is custom
+
+    def test_unknown_backend_fails_fast_in_evaluator(self, multiplier4):
+        with pytest.raises(RegistryError):
+            ErrorEvaluator(multiplier4, sim_backend="nope")
+        with pytest.raises(RegistryError):
+            BatchEvaluator(multiplier4, sim_backend="nope")
+
+
+# --------------------------------------------------------------------- #
+# pack / unpack
+# --------------------------------------------------------------------- #
+class TestPacking:
+    @settings(max_examples=60)
+    @given(
+        patterns=st.integers(min_value=0, max_value=300),
+        rows=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_roundtrip(self, patterns, rows, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.random((rows, patterns)) < 0.5
+        packed = pack_bits(bits)
+        assert packed.dtype == np.uint64
+        assert packed.shape == (rows, num_planes(patterns))
+        assert np.array_equal(unpack_bits(packed, patterns), bits)
+
+    def test_one_dimensional_roundtrip(self):
+        bits = np.array([True, False, True] * 43)  # 129 = 2*64 + 1 patterns
+        packed = pack_bits(bits)
+        assert packed.shape == (num_planes(129),)
+        assert np.array_equal(unpack_bits(packed, 129), bits)
+
+    def test_num_planes(self):
+        assert [num_planes(p) for p in (0, 1, 63, 64, 65, 128)] == [0, 1, 1, 1, 2, 2]
+        with pytest.raises(ValueError):
+            num_planes(-1)
+
+    def test_unpack_rejects_overlong_pattern_count(self):
+        packed = pack_bits(np.ones(64, dtype=bool))
+        with pytest.raises(ValueError):
+            unpack_bits(packed, 65)
+
+
+# --------------------------------------------------------------------- #
+# Per-gate kernel parity
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("gate_type", list(GateType))
+def test_packed_gate_matches_bool_gate(gate_type, rng):
+    patterns = 200  # deliberately not a multiple of PLANE_WIDTH
+    a_bits = rng.random(patterns) < 0.5
+    b_bits = rng.random(patterns) < 0.5
+    expected = evaluate_gate(gate_type, a_bits, b_bits)
+    packed = evaluate_gate_packed(gate_type, pack_bits(a_bits), pack_bits(b_bits))
+    assert np.array_equal(unpack_bits(packed, patterns), expected)
+
+
+@pytest.mark.parametrize("gate_type", list(GateType))
+def test_inplace_simulation_kernel_matches_bool_gate(gate_type, rng):
+    """Pin the simulator's in-place kernels (not just PACKED_GATE_FUNCTIONS).
+
+    ``simulate_planes`` dispatches to its own allocation-free kernel table;
+    a one-gate netlist per gate type proves each kernel agrees with the
+    boolean truth-table source in ``gates.py``, so the two packed tables
+    cannot drift apart unnoticed.
+    """
+    netlist = Netlist(
+        name=f"single_{gate_type.name.lower()}",
+        kind="test",
+        input_words={"a": (0,), "b": (1,)},
+        output_bits=(2,),
+        gates=[
+            Gate(gate_type)
+            if gate_type in (GateType.CONST0, GateType.CONST1)
+            else (Gate(gate_type, 0) if gate_type in (GateType.BUF, GateType.NOT)
+                  else Gate(gate_type, 0, 1))
+        ],
+    )
+    for patterns in (1, 65, 200):
+        assert_backends_agree(netlist, random_input_bits(netlist, patterns, rng))
+
+
+# --------------------------------------------------------------------- #
+# Differential sweep: perturbed netlists x pattern counts
+# --------------------------------------------------------------------- #
+def test_differential_seeded_sweep():
+    """>= 200 random netlist/pattern cases, bit-identical across backends."""
+    rng = np.random.default_rng(0xB17)
+    bases = [
+        ripple_carry_adder(3),
+        ripple_carry_adder(5),
+        array_multiplier(3),
+        array_multiplier(4),
+    ]
+    pattern_counts = [1, 63, 64, 65, PLANE_WIDTH * 2, 197]
+    cases = 0
+    for base in bases:
+        for seed in range(9):
+            config = PerturbationConfig(num_mutations=1 + seed, locality=16)
+            netlist = perturb_netlist(base, seed=seed, config=config)
+            for patterns in pattern_counts:
+                assert_backends_agree(netlist, random_input_bits(netlist, patterns, rng))
+                cases += 1
+    assert cases >= 200
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    width=st.integers(min_value=2, max_value=4),
+    kind=st.sampled_from(["adder", "multiplier"]),
+    mutations=st.integers(min_value=0, max_value=10),
+    perturb_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    patterns=st.integers(min_value=1, max_value=180),
+    pattern_seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_differential_hypothesis(width, kind, mutations, perturb_seed, patterns, pattern_seed):
+    base = ripple_carry_adder(width) if kind == "adder" else array_multiplier(width)
+    if mutations:
+        config = PerturbationConfig(num_mutations=mutations, locality=24)
+        netlist = perturb_netlist(base, seed=perturb_seed, config=config)
+    else:
+        netlist = base
+    rng = np.random.default_rng(pattern_seed)
+    assert_backends_agree(netlist, random_input_bits(netlist, patterns, rng))
+
+
+def test_floating_operands_read_as_zero():
+    """Gates with ``a``/``b`` == -1 see constant-0 inputs in both backends."""
+    netlist = Netlist(
+        name="floating",
+        kind="test",
+        input_words={"a": (0, 1)},
+        # node ids: inputs 0-1, gates 2-6
+        output_bits=(2, 3, 4, 5, 6),
+        gates=[
+            Gate(GateType.NOT, 0),         # regular unary (b floats by design)
+            Gate(GateType.CONST1),         # both operands float
+            Gate(GateType.AND, 0, -1),     # binary gate with floating b
+            Gate(GateType.ORNOT, -1, 1),   # binary gate with floating a
+            Gate(GateType.BUF, -1),        # unary gate with floating a
+        ],
+    )
+    rng = np.random.default_rng(7)
+    for patterns in (1, 64, 65, 130):
+        bits = random_input_bits(netlist, patterns, rng)
+        assert_backends_agree(netlist, bits)
+        outputs = simulate_bits_packed(netlist, bits)
+        assert not outputs[:, 2].any()                                       # a AND 0 == 0
+        assert np.array_equal(outputs[:, 3], np.logical_not(bits[:, 1]))     # 0 OR NOT b
+        assert not outputs[:, 4].any()                                       # BUF of floating == 0
+
+
+def test_simulate_planes_shape_validation(multiplier4):
+    with pytest.raises(ValueError):
+        simulate_planes(multiplier4, np.zeros((3, 2), dtype=np.uint64))
+    with pytest.raises(ValueError):
+        simulate_bits_packed(multiplier4, np.zeros((4, 3), dtype=bool))
+
+
+# --------------------------------------------------------------------- #
+# Word-level and evaluator-level equivalence
+# --------------------------------------------------------------------- #
+def test_simulate_words_backends_agree(multiplier4, rng):
+    operands = {
+        "a": rng.integers(0, 16, size=321),
+        "b": rng.integers(0, 16, size=321),
+    }
+    reference = simulate_words(multiplier4, operands, backend="bool")
+    assert np.array_equal(simulate_words(multiplier4, operands, backend="bitplane"), reference)
+    assert np.array_equal(simulate_words(multiplier4, operands, backend="auto"), reference)
+    assert np.array_equal(simulate_words(multiplier4, operands), reference)
+
+
+def test_error_evaluator_backends_bit_identical(multiplier4):
+    circuit = perturb_netlist(multiplier4, seed=11)
+    reports = {
+        backend: ErrorEvaluator(multiplier4, sim_backend=backend).evaluate(circuit)
+        for backend in ("bool", "bitplane", "auto")
+    }
+    assert reports["bool"].metrics == reports["bitplane"].metrics
+    assert reports["bool"].metrics == reports["auto"].metrics
+
+
+def test_error_evaluator_monte_carlo_backends_bit_identical():
+    reference = ripple_carry_adder(16)
+    circuit = perturb_netlist(reference, seed=5)
+    bool_report = ErrorEvaluator(
+        reference, max_exhaustive_inputs=10, num_samples=2048, sim_backend="bool"
+    ).evaluate(circuit)
+    packed_report = ErrorEvaluator(
+        reference, max_exhaustive_inputs=10, num_samples=2048, sim_backend="bitplane"
+    ).evaluate(circuit)
+    assert bool_report.method == "monte_carlo"
+    assert bool_report.metrics == packed_report.metrics
+
+
+def test_streaming_evaluator_matches_one_shot(multiplier4):
+    circuit = perturb_netlist(multiplier4, seed=13)
+    one_shot = ErrorEvaluator(multiplier4, sim_backend="bool").evaluate(circuit)
+    for chunk in (1, 37, 64, 100, 256, 10**6):
+        chunked = ErrorEvaluator(
+            multiplier4, sim_backend="bitplane", chunk_patterns=chunk
+        ).evaluate(circuit)
+        exact_fields = ("med", "mae", "wce", "wce_relative", "error_probability", "mse")
+        for field in exact_fields:
+            assert getattr(chunked.metrics, field) == getattr(one_shot.metrics, field), field
+        assert chunked.metrics.mre == pytest.approx(one_shot.metrics.mre, rel=1e-12)
+
+
+def test_streaming_evaluator_rejects_bad_chunk(multiplier4):
+    with pytest.raises(ValueError):
+        ErrorEvaluator(multiplier4, chunk_patterns=0)
+
+
+# --------------------------------------------------------------------- #
+# Engine integration: backend changes neither results nor cache keys
+# --------------------------------------------------------------------- #
+def test_engine_results_and_cache_shared_across_backends(multiplier4):
+    circuits = [perturb_netlist(multiplier4, seed=s) for s in range(6)]
+    cache = EvalCache()
+    bool_engine = BatchEvaluator(multiplier4, cache=cache, mode="serial", sim_backend="bool")
+    bool_reports = bool_engine.evaluate_errors(circuits)
+
+    packed_engine = BatchEvaluator(
+        multiplier4, cache=cache, mode="serial", sim_backend="bitplane"
+    )
+    before = cache.stats()
+    packed_reports = packed_engine.evaluate_errors(circuits)
+    after = cache.stats()
+
+    # Identical cache keys: the packed engine is served entirely from the
+    # bool engine's entries without re-simulating anything.
+    assert after.hits - before.hits == len(circuits)
+    assert after.misses == before.misses
+    for bool_report, packed_report in zip(bool_reports, packed_reports):
+        assert bool_report.metrics == packed_report.metrics
+
+    # And an uncached packed engine recomputes the exact same metrics.
+    fresh = BatchEvaluator(
+        multiplier4, cache=EvalCache(), mode="serial", sim_backend="bitplane"
+    ).evaluate_errors(circuits)
+    for bool_report, fresh_report in zip(bool_reports, fresh):
+        assert bool_report.metrics == fresh_report.metrics
+
+
+def test_engine_inherits_backend_from_evaluator(multiplier4):
+    evaluator = ErrorEvaluator(multiplier4, sim_backend="bitplane")
+    engine = BatchEvaluator(error_evaluator=evaluator)
+    assert engine.sim_backend == "bitplane"
+
+
+def test_degenerate_chunk_shares_cache_with_one_shot(multiplier4):
+    """chunk_patterns >= num_patterns is one-shot: same results, same cache keys."""
+    circuit = perturb_netlist(multiplier4, seed=17)
+    cache = EvalCache()
+    one_shot = BatchEvaluator(multiplier4, cache=cache, mode="serial")
+    [report] = one_shot.evaluate_errors([circuit])
+
+    big_chunk = ErrorEvaluator(multiplier4, chunk_patterns=10**9)
+    assert not big_chunk.streaming
+    degenerate = BatchEvaluator(error_evaluator=big_chunk, cache=cache, mode="serial")
+    before = cache.stats()
+    [served] = degenerate.evaluate_errors([circuit])
+    after = cache.stats()
+    assert after.hits - before.hits == 1
+    assert after.misses == before.misses
+    assert served.metrics == report.metrics
+
+    # A genuinely streaming evaluator keys its own cache namespace.
+    streaming = ErrorEvaluator(multiplier4, chunk_patterns=64)
+    assert streaming.streaming
+    streaming_engine = BatchEvaluator(error_evaluator=streaming, cache=cache, mode="serial")
+    before = cache.stats()
+    [streamed] = streaming_engine.evaluate_errors([circuit])
+    after = cache.stats()
+    assert after.misses == before.misses + 1
+    assert streamed.metrics.med == report.metrics.med

@@ -41,6 +41,33 @@ def test_words_to_bits_rejects_out_of_range():
         words_to_bits(np.array([-1]), 8)
 
 
+def test_words_to_bits_rejects_float_operands():
+    """Regression: float arrays used to slip through and truncate silently."""
+    with pytest.raises(TypeError):
+        words_to_bits(np.array([1.5, 2.0]), 8)
+    with pytest.raises(TypeError):
+        words_to_bits([0.25], 8)
+
+
+def test_words_to_bits_rejects_unsigned_overflow_before_wraparound():
+    """Out-of-range uint64 values raise instead of wrapping through int64."""
+    with pytest.raises(ValueError):
+        words_to_bits(np.array([2**63], dtype=np.uint64), 8)
+
+
+def test_words_to_bits_accepts_any_integer_dtype():
+    for dtype in (np.uint8, np.int16, np.uint32, np.int64):
+        bits = words_to_bits(np.array([5, 250], dtype=dtype), 8)
+        assert np.array_equal(bits_to_words(bits), [5, 250])
+    assert np.array_equal(bits_to_words(words_to_bits(np.array([True, False]), 1)), [1, 0])
+
+
+def test_simulate_words_rejects_float_operands(adder8):
+    """Regression: simulate_words validates operands like words_to_bits."""
+    with pytest.raises(TypeError):
+        simulate_words(adder8, {"a": np.array([1.5, 2.0]), "b": np.array([1, 2])})
+
+
 def test_simulate_bits_shape_check(adder8):
     with pytest.raises(ValueError):
         simulate_bits(adder8, np.zeros((4, 3), dtype=bool))
