@@ -10,6 +10,8 @@ The package is organised as the paper's system diagram (Fig. 2):
 * :mod:`repro.features` / :mod:`repro.ml` -- feature extraction and the Table I model zoo,
 * :mod:`repro.core` -- fidelity, Pareto machinery and the end-to-end flow,
 * :mod:`repro.engine` -- the parallel cached evaluation engine (see below),
+* :mod:`repro.search` -- the shared Pareto archive and the generic
+  resumable NSGA-II population search,
 * :mod:`repro.api` -- the public session / pipeline / registry API (see below),
 * :mod:`repro.autoax` -- the AutoAx-FPGA Gaussian-filter case study.
 
@@ -94,7 +96,7 @@ from .core import ApproxFpgasConfig, ApproxFpgasFlow, run_approxfpgas
 from .engine import BatchEvaluator, EvalCache
 from .generators import CircuitLibrary, build_adder_library, build_multiplier_library
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ApproxFpgasConfig",

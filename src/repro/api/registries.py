@@ -6,7 +6,11 @@ vary:
 * :data:`repro.ml.MODELS` -- cost-model regressors (Table I zoo built in),
 * :data:`repro.error.ERROR_METRICS` -- error-metric extractors,
 * :data:`SYNTHESIZERS` (here) -- synthesis substrates,
-* :data:`repro.autoax.SEARCH_STRATEGIES` -- configuration-space searches.
+* :data:`repro.autoax.SEARCH_STRATEGIES` -- configuration-space searches
+  (``"hill_climb"``, ``"random_archive"`` and the population-based
+  ``"nsga2"`` built on :mod:`repro.search`); it is not re-exported here
+  because :mod:`repro.autoax` builds on :mod:`repro.api` -- import it from
+  :mod:`repro.autoax` instead.
 
 Each is a :class:`repro.registry.Registry`; unknown keys raise
 :class:`repro.registry.RegistryError` listing the available keys.

@@ -98,6 +98,7 @@ class ExplorationSession:
         self.max_workers = max_workers
         self.sim_backend = sim_backend
         self._engines: Dict[str, BatchEvaluator] = {}
+        self._accelerator_engine: Optional[BatchEvaluator] = None
         self.runs: Dict[str, PipelineRun] = {}
         """Run id -> the most recent :class:`PipelineRun` (stage timings,
         which stages were restored from checkpoints)."""
@@ -129,6 +130,26 @@ class ExplorationSession:
             )
             self._engines[key] = engine
         return engine
+
+    def accelerator_engine(self) -> BatchEvaluator:
+        """The session's engine for exact accelerator-configuration batches.
+
+        Accelerator evaluations need no golden reference circuit, so one
+        reference-less :class:`BatchEvaluator` (sharing the session cache,
+        mode and worker budget) serves every AutoAx run of the session;
+        :meth:`run_autoax` threads it through the staged flow so training
+        samples, baselines and candidate re-evaluations run
+        generation-batched (see
+        :meth:`repro.engine.BatchEvaluator.evaluate_configurations`).
+        """
+        if self._accelerator_engine is None:
+            self._accelerator_engine = BatchEvaluator(
+                cache=self.cache,
+                mode=self.engine_mode,
+                max_workers=self.max_workers,
+                sim_backend=self.sim_backend,
+            )
+        return self._accelerator_engine
 
     def stats(self):
         """Cumulative statistics of the shared evaluation cache."""
@@ -186,7 +207,9 @@ class ExplorationSession:
 
         The session cache is shared with every other run, so exact
         accelerator evaluations are reused across scenarios, baselines and
-        repeated studies.  Returns the
+        repeated studies, and the session's accelerator engine batches them
+        per generation (pick the population search with
+        ``AutoAxConfig(search_strategy="nsga2")``).  Returns the
         :class:`~repro.autoax.flow.AutoAxResult`; per-stage timings land in
         :attr:`runs`.
         """
@@ -200,7 +223,7 @@ class ExplorationSession:
             adders,
             config,
             images=images,
-            cache=self.cache,
+            engine=self.accelerator_engine(),
             store=self.store,
             run_id=run_id,
             progress=progress,

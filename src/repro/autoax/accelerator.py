@@ -252,20 +252,24 @@ class GaussianFilterAccelerator:
                 planes.append(padded[dy:dy + height, dx:dx + width])
         return planes
 
-    def exact_filter(self, image: np.ndarray) -> np.ndarray:
-        """Golden output of the filter with exact integer arithmetic."""
-        planes = self._shifted_planes(image)
+    def _exact_from_planes(self, planes: List[np.ndarray]) -> np.ndarray:
         accumulator = np.zeros_like(planes[0])
         for plane, coefficient in zip(planes, self._kernel_flat):
             accumulator += plane * coefficient
         return np.clip(accumulator >> KERNEL_SHIFT, 0, 255).astype(np.uint8)
+
+    def exact_filter(self, image: np.ndarray) -> np.ndarray:
+        """Golden output of the filter with exact integer arithmetic."""
+        return self._exact_from_planes(self._shifted_planes(image))
 
     def apply(self, image: np.ndarray, config: Configuration) -> np.ndarray:
         """Output of the filter when executed with the configured components."""
         image = np.asarray(image)
         if image.ndim != 2:
             raise ValueError("expected a 2-D grayscale image")
-        planes = self._shifted_planes(image)
+        return self._apply_planes(self._shifted_planes(image), config)
+
+    def _apply_planes(self, planes: List[np.ndarray], config: Configuration) -> np.ndarray:
         shape = planes[0].shape
 
         products: List[np.ndarray] = []
@@ -325,11 +329,46 @@ class GaussianFilterAccelerator:
 
     def quality(self, images: Sequence[np.ndarray], config: Configuration) -> float:
         """Mean SSIM of the configured filter against the exact filter."""
+        return self.quality_prepared(self.prepare_images(images), config)
+
+    # ------------------------------------------------------------------ #
+    # Batched evaluation: shared per-image work across many configurations
+    # ------------------------------------------------------------------ #
+    def prepare_images(
+        self, images: Sequence[np.ndarray]
+    ) -> List[Tuple[List[np.ndarray], np.ndarray]]:
+        """Precompute the per-image work every configuration shares.
+
+        Returns ``(shifted planes, exact reference output)`` per image.  The
+        planes and the golden reference do not depend on the configuration,
+        so evaluating a whole population against one prepared image set pays
+        for them once instead of once per configuration; results are
+        bit-identical to the unprepared path (:meth:`quality` itself runs
+        through it).
+        """
+        prepared = []
+        for image in images:
+            image = np.asarray(image)
+            if image.ndim != 2:
+                raise ValueError("expected a 2-D grayscale image")
+            planes = self._shifted_planes(image)
+            prepared.append((planes, self._exact_from_planes(planes)))
+        return prepared
+
+    def quality_prepared(
+        self, prepared: Sequence[Tuple[List[np.ndarray], np.ndarray]], config: Configuration
+    ) -> float:
+        """Mean SSIM of one configuration against a prepared image set."""
         from .quality import ssim
 
         scores = []
-        for image in images:
-            reference = self.exact_filter(image)
-            approximate = self.apply(image, config)
+        for planes, reference in prepared:
+            approximate = self._apply_planes(planes, config)
             scores.append(ssim(reference, approximate))
         return float(np.mean(scores))
+
+    def evaluate_prepared(
+        self, prepared: Sequence[Tuple[List[np.ndarray], np.ndarray]], config: Configuration
+    ) -> Tuple[float, Dict[str, float]]:
+        """(quality, hw cost) of one configuration against prepared images."""
+        return self.quality_prepared(prepared, config), self.hw_cost(config)

@@ -55,6 +55,51 @@ def configuration_features(
     return np.concatenate([values, aggregates])
 
 
+def _component_feature_table(components) -> np.ndarray:
+    """(num_components, 4) table of the per-slot features of each component."""
+    return np.array(
+        [
+            [
+                component.error.med,
+                component.fpga.area_luts,
+                component.fpga.latency_ns,
+                component.fpga.total_power_mw,
+            ]
+            for component in components
+        ],
+        dtype=np.float64,
+    )
+
+
+def configuration_feature_matrix(
+    accelerator: GaussianFilterAccelerator, configs: Sequence[Configuration]
+) -> np.ndarray:
+    """Stacked feature matrix of a whole population of configurations.
+
+    The population path is fully vectorised: per-component features are
+    tabulated once and gathered by slot index for every configuration, so
+    building a generation's matrix is a couple of NumPy gathers instead of
+    ``population x slots`` Python-level attribute walks -- and the single
+    ``predict`` call per generation amortises the regressors' call
+    overhead.  Population strategies score generations through this path
+    (see ``estimate_batch``); per-configuration scoring keeps using
+    :func:`configuration_features` (same features up to summation order).
+    """
+    if not configs:
+        return np.empty((0, 0), dtype=np.float64)
+    multiplier_table = _component_feature_table(accelerator.multipliers)
+    adder_table = _component_feature_table(accelerator.adders)
+    multiplier_indices = np.array([config.multiplier_indices for config in configs])
+    adder_indices = np.array([config.adder_indices for config in configs])
+    # (population, slots, 4) gathers, flattened to the per-slot layout.
+    grouped = np.concatenate(
+        [multiplier_table[multiplier_indices], adder_table[adder_indices]], axis=1
+    )
+    values = grouped.reshape(len(configs), -1)
+    aggregates = np.concatenate([grouped.sum(axis=1), grouped.max(axis=1)], axis=1)
+    return np.concatenate([values, aggregates], axis=1)
+
+
 @dataclass
 class TrainingSample:
     """One exactly-evaluated configuration."""
@@ -70,23 +115,41 @@ def collect_training_samples(
     images: Sequence[np.ndarray],
     num_samples: int,
     seed: int = 17,
+    engine: Optional["BatchEvaluator"] = None,  # noqa: F821
 ) -> List[TrainingSample]:
-    """Exactly evaluate ``num_samples`` random configurations."""
+    """Exactly evaluate ``num_samples`` random configurations.
+
+    With an ``engine`` (:class:`repro.engine.BatchEvaluator`), the whole
+    sample is evaluated as one cached, generation-batched call -- the
+    per-image shared work is paid once and results land in the engine's
+    cache under the same keys the search's exact evaluations use.  The
+    configurations are drawn before any evaluation either way, so seeded
+    samples are bit-identical with and without an engine.
+    """
     if num_samples < 2:
         raise ValueError("need at least two training samples")
     rng = np.random.default_rng(seed)
-    samples: List[TrainingSample] = []
-    for _ in range(num_samples):
-        config = accelerator.random_configuration(rng)
-        samples.append(
-            TrainingSample(
-                config=config,
-                features=configuration_features(accelerator, config),
-                quality=accelerator.quality(images, config),
-                cost=accelerator.hw_cost(config),
-            )
+    configs = [accelerator.random_configuration(rng) for _ in range(num_samples)]
+    if engine is not None:
+        payloads = engine.evaluate_configurations(accelerator, images, configs)
+        measured = [
+            (float(payload["quality"]), {k: float(v) for k, v in payload["cost"].items()})
+            for payload in payloads
+        ]
+    else:
+        measured = [
+            (accelerator.quality(images, config), accelerator.hw_cost(config))
+            for config in configs
+        ]
+    return [
+        TrainingSample(
+            config=config,
+            features=configuration_features(accelerator, config),
+            quality=quality,
+            cost=cost,
         )
-    return samples
+        for config, (quality, cost) in zip(configs, measured)
+    ]
 
 
 def _fresh_cache_token(prefix: str) -> str:
@@ -118,6 +181,23 @@ class QorEstimator:
         features = configuration_features(accelerator, config).reshape(1, -1)
         return float(self.model.predict(features)[0])
 
+    def estimate_batch(
+        self,
+        accelerator: GaussianFilterAccelerator,
+        configs: Sequence[Configuration],
+        features: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """SSIM estimates for a whole population in one ``predict`` call.
+
+        Pass a precomputed ``features`` matrix to share feature extraction
+        with other estimators scoring the same population.
+        """
+        if not configs:
+            return np.empty(0, dtype=np.float64)
+        if features is None:
+            features = configuration_feature_matrix(accelerator, configs)
+        return np.asarray(self.model.predict(features), dtype=np.float64)
+
 
 class HwCostEstimator:
     """Estimates one FPGA cost parameter of a configuration."""
@@ -137,3 +217,20 @@ class HwCostEstimator:
     def estimate(self, accelerator: GaussianFilterAccelerator, config: Configuration) -> float:
         features = configuration_features(accelerator, config).reshape(1, -1)
         return float(self.model.predict(features)[0])
+
+    def estimate_batch(
+        self,
+        accelerator: GaussianFilterAccelerator,
+        configs: Sequence[Configuration],
+        features: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Cost estimates for a whole population in one ``predict`` call.
+
+        Pass a precomputed ``features`` matrix to share feature extraction
+        with other estimators scoring the same population.
+        """
+        if not configs:
+            return np.empty(0, dtype=np.float64)
+        if features is None:
+            features = configuration_feature_matrix(accelerator, configs)
+        return np.asarray(self.model.predict(features), dtype=np.float64)

@@ -19,8 +19,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.pareto import hypervolume_2d, pareto_front_indices
+from ..core.pareto import hypervolume_2d
 from ..engine import EvalCache
+from ..search import ParetoArchive
 from .accelerator import ApproxComponent, GaussianFilterAccelerator
 from .images import default_image_set
 from .search import SEARCH_STRATEGIES, EvaluatedConfiguration
@@ -38,7 +39,10 @@ class AutoAxConfig:
     seed: int = 17
     search_strategy: str = "hill_climb"
     """Key into :data:`repro.autoax.SEARCH_STRATEGIES` selecting how the
-    candidate configurations are searched per scenario."""
+    candidate configurations are searched per scenario (built-ins:
+    ``"hill_climb"``, ``"random_archive"`` and the population-based
+    ``"nsga2"``, which scores whole generations through the estimators in
+    one batched call)."""
 
     def __post_init__(self) -> None:
         if self.num_training_samples < 2:
@@ -78,11 +82,10 @@ class AutoAxResult:
 
     def baseline_front(self, parameter: str) -> List[EvaluatedConfiguration]:
         """Pareto front of the random-search baseline for one parameter."""
-        points = np.array(
-            [[entry.cost[parameter], 1.0 - entry.quality] for entry in self.baseline]
-        )
-        keep = pareto_front_indices(points)
-        return [self.baseline[i] for i in keep]
+        front = ParetoArchive(num_objectives=2, dedupe_keys=False)
+        for entry in self.baseline:
+            front.insert(None, (entry.cost[parameter], 1.0 - entry.quality), item=entry)
+        return front.items()
 
     def hypervolume_comparison(self, parameter: str) -> Dict[str, float]:
         """Dominated hypervolume of AutoAx-FPGA vs the random baseline.

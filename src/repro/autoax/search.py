@@ -2,7 +2,16 @@
 
 AutoAx-FPGA uses a Pareto-archive hill climber driven by the estimators;
 the baseline it is compared against in Fig. 9 is plain random search with
-exact evaluation.
+exact evaluation.  A population-based NSGA-II strategy (``"nsga2"``) built
+on the generic :mod:`repro.search` subsystem scores whole generations
+through the estimators in one batched call and exactly re-evaluates the
+surviving front through :meth:`repro.engine.BatchEvaluator.evaluate_configurations`.
+
+All strategies keep their candidate front in a shared
+:class:`repro.search.ParetoArchive` (incremental non-dominated insertion)
+instead of hand-rolled filtering; seeded trajectories are bit-identical to
+the historical list-based implementations (pinned by
+``tests/test_search_regression.py``).
 
 All configuration evaluation is routed through the evaluation engine's
 cache when one is passed: exact evaluations are keyed by the accelerator's
@@ -10,10 +19,13 @@ component set, the image set and the configuration, so hits are shared
 between :func:`random_search` and :func:`exact_reevaluation` (and across
 repeated searches over the same accelerator); estimated evaluations inside
 :func:`hill_climb_pareto` are additionally keyed by the fitted estimator
-state, so revisited configurations are scored once.  Caching never changes
-results -- every evaluation is a deterministic function of its key -- and
-random-number consumption is independent of hits, so seeded searches are
-reproducible with or without a cache.
+state, so revisited configurations are scored once.  Independently of the
+cache, every estimator-driven strategy memoises scores per configuration
+within one run, so revisiting a configuration never recomputes the
+estimators.  Caching never changes results -- every evaluation is a
+deterministic function of its key -- and random-number consumption is
+independent of hits, so seeded searches are reproducible with or without a
+cache.
 """
 
 from __future__ import annotations
@@ -24,8 +36,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..engine import EvalCache, blake_token, cache_key, configuration_token, images_token
+from ..engine import (
+    EvalCache,
+    accelerator_context,
+    accelerator_token,
+    blake_token,
+    cache_key,
+    configuration_token,
+)
 from ..registry import Registry
+from ..search import Nsga2Config, ParetoArchive, run_nsga2
 from .accelerator import Configuration, GaussianFilterAccelerator
 from .estimators import HwCostEstimator, QorEstimator
 
@@ -34,7 +54,11 @@ from .estimators import HwCostEstimator, QorEstimator
 #: seed, cache) -> List[EvaluatedConfiguration]`` returning the estimated
 #: Pareto-optimal candidates; :class:`~repro.autoax.flow.AutoAxFpgaFlow`
 #: resolves ``AutoAxConfig.search_strategy`` here, so new searches plug in
-#: by registering a key.
+#: by registering a key.  Every strategy returns *estimated* candidates;
+#: callers perform the exact re-evaluation pass (the staged flow batches it
+#: through the state engine).  Strategies may additionally accept ``images``
+#: and ``engine`` keyword arguments for direct API users who want the
+#: survivors re-evaluated exactly inside the strategy call.
 SEARCH_STRATEGIES = Registry("search strategy")
 
 
@@ -54,26 +78,15 @@ class EvaluatedConfiguration:
 def _non_dominated(
     archive: List[EvaluatedConfiguration], parameter: str
 ) -> List[EvaluatedConfiguration]:
-    """Prune an archive to its non-dominated members (cost and 1-SSIM minimised)."""
-    if not archive:
-        return []
-    points = np.array([entry.objectives(parameter) for entry in archive])
-    from ..core.pareto import pareto_front_indices
-
-    keep = pareto_front_indices(points)
-    return [archive[i] for i in keep]
-
-
-def accelerator_token(accelerator: GaussianFilterAccelerator) -> str:
-    """Digest of the component sets an accelerator is built from."""
-    return blake_token(
-        [component.netlist.fingerprint() for component in accelerator.multipliers],
-        [component.netlist.fingerprint() for component in accelerator.adders],
-    )
+    """Prune a candidate list to its non-dominated members via the shared archive."""
+    pruned = ParetoArchive(num_objectives=2, dedupe_keys=False)
+    for entry in archive:
+        pruned.insert(None, entry.objectives(parameter), item=entry)
+    return pruned.items()
 
 
 def _exact_context(accelerator: GaussianFilterAccelerator, images: Sequence[np.ndarray]) -> str:
-    return blake_token(accelerator_token(accelerator), images_token(images))
+    return accelerator_context(accelerator, images)
 
 
 def _through_cache(
@@ -123,21 +136,48 @@ def _cached_exact_evaluation(
     )
 
 
+def _batched_exact_evaluation(
+    accelerator: GaussianFilterAccelerator,
+    images: Sequence[np.ndarray],
+    configs: Sequence[Configuration],
+    engine: "BatchEvaluator",  # noqa: F821
+) -> List[EvaluatedConfiguration]:
+    """Exactly evaluate configurations as one engine batch (same cache keys)."""
+    payloads = engine.evaluate_configurations(accelerator, images, configs)
+    return [
+        EvaluatedConfiguration(
+            config=config,
+            quality=float(payload["quality"]),
+            cost={name: float(value) for name, value in payload["cost"].items()},
+        )
+        for config, payload in zip(configs, payloads)
+    ]
+
+
 def random_search(
     accelerator: GaussianFilterAccelerator,
     images: Sequence[np.ndarray],
     num_samples: int,
     seed: int = 23,
     cache: Optional[EvalCache] = None,
+    engine: Optional["BatchEvaluator"] = None,  # noqa: F821
 ) -> List[EvaluatedConfiguration]:
-    """Exactly evaluate ``num_samples`` uniformly random configurations."""
+    """Exactly evaluate ``num_samples`` uniformly random configurations.
+
+    With an ``engine``, the whole sample is evaluated as one batched,
+    cached, optionally process-parallel call; configurations are drawn
+    before any evaluation either way, so seeded results are bit-identical
+    across both paths.
+    """
     rng = np.random.default_rng(seed)
+    configs = [accelerator.random_configuration(rng) for _ in range(num_samples)]
+    if engine is not None:
+        return _batched_exact_evaluation(accelerator, images, configs, engine)
     context = _exact_context(accelerator, images)
-    results: List[EvaluatedConfiguration] = []
-    for _ in range(num_samples):
-        config = accelerator.random_configuration(rng)
-        results.append(_cached_exact_evaluation(accelerator, images, config, cache, context))
-    return results
+    return [
+        _cached_exact_evaluation(accelerator, images, config, cache, context)
+        for config in configs
+    ]
 
 
 def _estimator_context(
@@ -157,15 +197,49 @@ def _estimator_context(
     )
 
 
+@dataclass
+class SearchEvalStats:
+    """In-run evaluation accounting of one estimator-driven search.
+
+    ``evaluations`` counts requested scores, ``computed`` the ones that
+    actually ran the estimators; the rest were memo hits (revisited
+    configurations).  Exposed as the ``stats`` attribute of the closure
+    returned by the estimated evaluator, and asserted on by the dedupe
+    regression tests.
+    """
+
+    evaluations: int = 0
+    computed: int = 0
+
+    @property
+    def memo_hits(self) -> int:
+        return self.evaluations - self.computed
+
+    @property
+    def memo_hit_rate(self) -> float:
+        return self.memo_hits / self.evaluations if self.evaluations else 0.0
+
+
 def _estimated_evaluator(
     accelerator: GaussianFilterAccelerator,
     qor_estimator: QorEstimator,
     hw_estimator: HwCostEstimator,
     cache: Optional[EvalCache],
 ):
-    """A ``config -> EvaluatedConfiguration`` closure scoring via the estimators."""
+    """A ``config -> EvaluatedConfiguration`` closure scoring via the estimators.
+
+    Scores are memoised per configuration for the lifetime of the closure
+    (keyed under the accelerator/estimator context the closure is bound
+    to), so a search that revisits a configuration -- the hill climber
+    mutating a slot back to its parent's component, for instance -- never
+    pays the estimators twice.  Memo hits return the identical values a
+    recomputation would, so seeded trajectories are unchanged; the
+    ``stats`` attribute of the closure reports the hit accounting.
+    """
     parameter = hw_estimator.parameter
     context = _estimator_context(accelerator, qor_estimator, hw_estimator)
+    memo: Dict[str, EvaluatedConfiguration] = {}
+    stats = SearchEvalStats()
 
     def estimate(config: Configuration):
         quality = float(np.clip(qor_estimator.estimate(accelerator, config), 0.0, 1.0))
@@ -174,9 +248,23 @@ def _estimated_evaluator(
         return quality, cost
 
     def evaluate(config: Configuration) -> EvaluatedConfiguration:
-        return _through_cache(cache, "axe", context, config, lambda: estimate(config))
+        stats.evaluations += 1
+        token = configuration_token(config.multiplier_indices, config.adder_indices)
+        hit = memo.get(token)
+        if hit is not None:
+            return hit
+        stats.computed += 1
+        result = _through_cache(cache, "axe", context, config, lambda: estimate(config))
+        memo[token] = result
+        return result
 
+    evaluate.stats = stats
     return evaluate
+
+
+def _spread_limited(archive: ParetoArchive, limit: int) -> None:
+    """Bound an archive to ``limit`` members spread along the cost axis."""
+    archive.truncate_spread(limit, objective=0)
 
 
 @SEARCH_STRATEGIES.register("hill_climb")
@@ -196,26 +284,30 @@ def hill_climb_pareto(
     and keeps the archive non-dominated in the (estimated cost, estimated
     quality loss) plane.  Returns the final archive of *estimated*
     Pareto-optimal configurations; callers re-evaluate them exactly.
+
+    Revisited configurations are served from the evaluator's in-run memo
+    (and the cross-run cache when one is passed); archive membership is
+    maintained incrementally by :class:`repro.search.ParetoArchive` with
+    ``dedupe_keys`` off, preserving the historical semantics where a
+    revisited candidate occupies one archive slot per visit.
     """
     rng = np.random.default_rng(seed)
     parameter = hw_estimator.parameter
     evaluate = _estimated_evaluator(accelerator, qor_estimator, hw_estimator, cache)
 
-    archive = [evaluate(accelerator.random_configuration(rng)) for _ in range(8)]
-    archive = _non_dominated(archive, parameter)
+    archive = ParetoArchive(num_objectives=2, dedupe_keys=False)
+    for _ in range(8):
+        entry = evaluate(accelerator.random_configuration(rng))
+        archive.insert(None, entry.objectives(parameter), item=entry)
 
     for _ in range(iterations):
-        parent = archive[int(rng.integers(0, len(archive)))]
-        child_config = accelerator.mutate_configuration(parent.config, rng)
-        child = evaluate(child_config)
-        archive.append(child)
-        archive = _non_dominated(archive, parameter)
+        parent = archive.entries()[int(rng.integers(0, len(archive)))].item
+        child = evaluate(accelerator.mutate_configuration(parent.config, rng))
+        archive.insert(None, child.objectives(parameter), item=child)
         if len(archive) > archive_limit:
             # Keep a spread subset along the cost axis.
-            archive.sort(key=lambda entry: entry.cost[parameter])
-            indices = np.linspace(0, len(archive) - 1, archive_limit).round().astype(int)
-            archive = [archive[i] for i in dict.fromkeys(int(i) for i in indices)]
-    return archive
+            _spread_limited(archive, archive_limit)
+    return archive.items()
 
 
 @SEARCH_STRATEGIES.register("random_archive")
@@ -240,15 +332,151 @@ def random_archive(
     parameter = hw_estimator.parameter
     evaluate = _estimated_evaluator(accelerator, qor_estimator, hw_estimator, cache)
 
-    archive: List[EvaluatedConfiguration] = []
+    archive = ParetoArchive(num_objectives=2, dedupe_keys=False)
     for _ in range(iterations):
-        archive.append(evaluate(accelerator.random_configuration(rng)))
-        archive = _non_dominated(archive, parameter)
+        entry = evaluate(accelerator.random_configuration(rng))
+        archive.insert(None, entry.objectives(parameter), item=entry)
     if len(archive) > archive_limit:
-        archive.sort(key=lambda entry: entry.cost[parameter])
-        indices = np.linspace(0, len(archive) - 1, archive_limit).round().astype(int)
-        archive = [archive[i] for i in dict.fromkeys(int(i) for i in indices)]
-    return archive
+        _spread_limited(archive, archive_limit)
+    return archive.items()
+
+
+@SEARCH_STRATEGIES.register("nsga2")
+def nsga2_pareto(
+    accelerator: GaussianFilterAccelerator,
+    qor_estimator: QorEstimator,
+    hw_estimator: HwCostEstimator,
+    iterations: int = 400,
+    archive_limit: int = 64,
+    seed: int = 31,
+    cache: Optional[EvalCache] = None,
+    population_size: int = 32,
+    crossover_rate: float = 0.9,
+    mutation_rate: float = 1.0,
+    images: Optional[Sequence[np.ndarray]] = None,
+    engine: Optional["BatchEvaluator"] = None,  # noqa: F821
+    store=None,
+    run_id: str = "nsga2-search",
+) -> List[EvaluatedConfiguration]:
+    """Population-based NSGA-II over the configuration space.
+
+    The genome is the flat tuple of the 9 multiplier and 8 adder slot
+    assignments; variation is per-parameter uniform crossover plus the same
+    single-slot mutation move the hill climber uses.  Whole generations are
+    scored through the estimators in **one batched call**
+    (``estimate_batch``), which is what makes the strategy faster than the
+    sequential hill climber at equal evaluation budget; the global
+    non-dominated front accumulates in a shared
+    :class:`repro.search.ParetoArchive` truncated by crowding distance.
+
+    ``iterations`` is the surrogate-evaluation budget: the population size
+    adapts down for small budgets and ``generations`` is derived so that
+    ``population * (generations + 1) <= iterations``, making budgets
+    directly comparable with :func:`hill_climb_pareto`.
+
+    Survivor handling implements the paper's surrogate-assisted pattern:
+    estimators pre-filter the design space and, when ``images`` are given,
+    the surviving front is re-evaluated **exactly** before being returned
+    -- generation-batched through ``engine`` when one is passed (shared
+    ``axq`` cache keys), serially through ``cache`` otherwise.  Without
+    ``images`` the candidates carry estimated values like the other
+    strategies and the caller re-evaluates them.
+
+    With a ``store`` (``get``/``put``), the search state -- population,
+    archive and RNG stream -- is checkpointed every generation and a rerun
+    with the same ``run_id`` resumes bit-identically (pass the *same
+    fitted estimator instances*: the checkpoint token covers accelerator
+    and search knobs, not the estimators' fitted state).
+    """
+    from .accelerator import NUM_MULTIPLIER_SLOTS
+
+    parameter = hw_estimator.parameter
+    slots_m = NUM_MULTIPLIER_SLOTS
+
+    population = min(population_size, max(4, iterations // 4))
+    generations = max(0, iterations // population - 1)
+    config = Nsga2Config(
+        population_size=population,
+        generations=generations,
+        crossover_rate=crossover_rate,
+        mutation_rate=mutation_rate,
+        archive_limit=archive_limit,
+        seed=seed,
+    )
+
+    def to_config(genome) -> Configuration:
+        return Configuration(tuple(genome[:slots_m]), tuple(genome[slots_m:]))
+
+    def random_genome(rng: np.random.Generator):
+        drawn = accelerator.random_configuration(rng)
+        return drawn.multiplier_indices + drawn.adder_indices
+
+    def mutate(genome, rng: np.random.Generator):
+        mutated = accelerator.mutate_configuration(to_config(genome), rng)
+        return mutated.multiplier_indices + mutated.adder_indices
+
+    def crossover(a, b, rng: np.random.Generator):
+        take_first = rng.random(len(a)) < 0.5
+        return tuple(x if flag else y for x, y, flag in zip(a, b, take_first))
+
+    def batch_scores(estimator, configs, features) -> np.ndarray:
+        batch = getattr(estimator, "estimate_batch", None)
+        if batch is not None:
+            return np.asarray(batch(accelerator, configs, features=features), dtype=np.float64)
+        # Duck-typed estimators without a batch API degrade to per-config
+        # scoring (slower, same values).
+        return np.array(
+            [estimator.estimate(accelerator, config) for config in configs], dtype=np.float64
+        )
+
+    def evaluate(genomes):
+        from .estimators import configuration_feature_matrix
+
+        configs = [to_config(genome) for genome in genomes]
+        features = configuration_feature_matrix(accelerator, configs)
+        qualities = np.clip(batch_scores(qor_estimator, configs, features), 0.0, 1.0)
+        costs = batch_scores(hw_estimator, configs, features)
+        return [
+            (float(cost), float(1.0 - quality))
+            for cost, quality in zip(costs, qualities)
+        ]
+
+    token = blake_token(
+        "nsga2",
+        accelerator_token(accelerator),
+        parameter,
+        population,
+        crossover_rate,
+        mutation_rate,
+        archive_limit,
+        seed,
+    )
+    result = run_nsga2(
+        random_genome=random_genome,
+        mutate=mutate,
+        crossover=crossover,
+        evaluate=evaluate,
+        config=config,
+        store=store,
+        run_id=run_id,
+        token=token,
+    )
+
+    candidates = [
+        EvaluatedConfiguration(
+            config=to_config(entry.item),
+            quality=1.0 - entry.objectives[1],
+            cost={parameter: entry.objectives[0]},
+        )
+        for entry in result.archive
+    ]
+    if images is not None:
+        if engine is not None:
+            return _batched_exact_evaluation(
+                accelerator, images, [candidate.config for candidate in candidates], engine
+            )
+        return exact_reevaluation(accelerator, images, candidates, cache=cache)
+    return candidates
 
 
 def exact_reevaluation(
@@ -256,8 +484,19 @@ def exact_reevaluation(
     images: Sequence[np.ndarray],
     candidates: Sequence[EvaluatedConfiguration],
     cache: Optional[EvalCache] = None,
+    engine: Optional["BatchEvaluator"] = None,  # noqa: F821
 ) -> List[EvaluatedConfiguration]:
-    """Replace estimated quality/cost of candidates with exact measurements."""
+    """Replace estimated quality/cost of candidates with exact measurements.
+
+    With an ``engine``, the candidate set is evaluated as one batched call
+    through :meth:`repro.engine.BatchEvaluator.evaluate_configurations`
+    (bit-identical values, same cache keys, process-pool fan-out for large
+    fronts); otherwise each candidate is evaluated serially via ``cache``.
+    """
+    if engine is not None:
+        return _batched_exact_evaluation(
+            accelerator, images, [candidate.config for candidate in candidates], engine
+        )
     context = _exact_context(accelerator, images)
     return [
         _cached_exact_evaluation(accelerator, images, candidate.config, cache, context)

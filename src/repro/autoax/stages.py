@@ -21,8 +21,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..api.pipeline import Pipeline, PipelineRun, Stage
-from ..core.pareto import pareto_front_indices
-from ..engine import EvalCache, blake_token, images_token
+from ..engine import BatchEvaluator, EvalCache, blake_token, images_token
+from ..search import ParetoArchive
 from .accelerator import ApproxComponent, Configuration, GaussianFilterAccelerator
 from .estimators import (
     HwCostEstimator,
@@ -87,6 +87,12 @@ class AutoAxState:
     images: List[np.ndarray]
     config: "AutoAxConfig"  # noqa: F821 - imported lazily to avoid a cycle
     cache: EvalCache
+    engine: Optional[BatchEvaluator] = None
+    """Optional evaluation engine sharing :attr:`cache`.  When present,
+    exact configuration evaluations (training samples, candidate
+    re-evaluation, the random baseline) run generation-batched through
+    :meth:`~repro.engine.BatchEvaluator.evaluate_configurations` -- results
+    are bit-identical to the serial path and share its cache keys."""
 
     samples: List[TrainingSample] = field(default_factory=list)
     qor_estimator: Optional[QorEstimator] = None
@@ -102,17 +108,23 @@ class AutoAxState:
         *,
         images: Optional[Sequence[np.ndarray]] = None,
         cache: Optional[EvalCache] = None,
+        engine: Optional[BatchEvaluator] = None,
     ) -> "AutoAxState":
         """Build a state with the same component defaults as the legacy flow."""
         from .flow import AutoAxConfig
 
         config = config or AutoAxConfig()
         accelerator = GaussianFilterAccelerator(multipliers, adders)
+        if engine is not None and cache is not None and engine.cache is not cache:
+            raise ValueError("engine and cache must share one EvalCache; pass one or the other")
+        if engine is not None and cache is None:
+            cache = engine.cache
         return cls(
             accelerator=accelerator,
             images=list(images) if images is not None else default_image_set(config.image_size),
             config=config,
             cache=cache if cache is not None else EvalCache(),
+            engine=engine,
         )
 
 
@@ -130,6 +142,7 @@ class CollectSamplesStage(Stage):
             state.images,
             state.config.num_training_samples,
             seed=state.config.seed,
+            engine=state.engine,
         )
         # TrainingSample exposes the same config/quality/cost surface as an
         # EvaluatedConfiguration, so the payload encodings stay in lockstep.
@@ -183,6 +196,11 @@ class ScenarioStage(Stage):
         config = state.config
         hw_estimator = HwCostEstimator(self.parameter).fit(state.samples)
         strategy = SEARCH_STRATEGIES.get(config.search_strategy)
+        # Every strategy returns *estimated* candidates; the single exact
+        # pass below re-evaluates the survivors -- generation-batched
+        # through the state engine when one is attached.  (The nsga2
+        # strategy's own ``images``/``engine`` parameters serve direct API
+        # users; forwarding them here would duplicate the exact pass.)
         candidates = strategy(
             state.accelerator,
             state.qor_estimator,
@@ -192,7 +210,7 @@ class ScenarioStage(Stage):
             cache=state.cache,
         )
         evaluated = exact_reevaluation(
-            state.accelerator, state.images, candidates, cache=state.cache
+            state.accelerator, state.images, candidates, cache=state.cache, engine=state.engine
         )
         return {"candidates": [_evaluated_to_payload(entry) for entry in evaluated]}
 
@@ -200,14 +218,13 @@ class ScenarioStage(Stage):
         from .flow import ScenarioResult
 
         evaluated = [_evaluated_from_payload(entry) for entry in payload["candidates"]]
-        points = np.array(
-            [[entry.cost[self.parameter], 1.0 - entry.quality] for entry in evaluated]
-        )
-        front_indices = pareto_front_indices(points) if len(evaluated) else []
+        front = ParetoArchive(num_objectives=2, dedupe_keys=False)
+        for entry in evaluated:
+            front.insert(None, entry.objectives(self.parameter), item=entry)
         state.scenarios[self.parameter] = ScenarioResult(
             parameter=self.parameter,
             candidates=evaluated,
-            front=[evaluated[i] for i in front_indices],
+            front=front.items(),
             num_candidates=len(evaluated),
         )
 
@@ -224,6 +241,7 @@ class RandomBaselineStage(Stage):
             state.config.num_random_baseline,
             seed=state.config.seed + 999,
             cache=state.cache,
+            engine=state.engine,
         )
         return [_evaluated_to_payload(entry) for entry in baseline]
 
@@ -273,13 +291,22 @@ def run_autoax_pipeline(
     *,
     images: Optional[Sequence[np.ndarray]] = None,
     cache: Optional[EvalCache] = None,
+    engine: Optional[BatchEvaluator] = None,
     store: Optional[object] = None,
     run_id: Optional[str] = None,
     progress=None,
     resume: bool = True,
 ) -> Tuple["AutoAxResult", PipelineRun]:  # noqa: F821
-    """Run the staged AutoAx-FPGA case study, optionally checkpointing."""
-    state = AutoAxState.create(multipliers, adders, config, images=images, cache=cache)
+    """Run the staged AutoAx-FPGA case study, optionally checkpointing.
+
+    Pass an ``engine`` (sharing its cache with ``cache`` or replacing it) to
+    evaluate training samples, baselines and candidate re-evaluations as
+    generation batches -- bit-identical results, amortised per-image work
+    and optional process-pool fan-out.
+    """
+    state = AutoAxState.create(
+        multipliers, adders, config, images=images, cache=cache, engine=engine
+    )
     pipeline = Pipeline(
         autoax_stages(state.config),
         store=store,

@@ -40,6 +40,7 @@ from ..generators import CircuitLibrary
 from ..ml import build_model, pearson_correlation, r2_score
 from .exploration import ExplorationCost
 from .fidelity import fidelity
+from ..search import ParetoArchive
 from .pareto import pareto_coverage, pareto_front_indices, pareto_union, successive_pareto_fronts
 from .results import ApproxFpgasResult, CircuitRecord, ModelEvaluation, ParameterOutcome
 
@@ -379,7 +380,13 @@ class ResynthesizeCandidatesStage(Stage):
 
 
 class MeasureFrontsStage(Stage):
-    """Stage 8: measured Pareto fronts over every synthesized circuit."""
+    """Stage 8: measured Pareto fronts over every synthesized circuit.
+
+    Front bookkeeping goes through the shared
+    :class:`repro.search.ParetoArchive` (incremental non-dominated
+    insertion); circuit names are the archive keys, so the front reads
+    straight out of the archive in measured-name order.
+    """
 
     name = "measure-fronts"
 
@@ -389,14 +396,13 @@ class MeasureFrontsStage(Stage):
         )
         fronts: Dict[str, List[str]] = {}
         for parameter in state.config.fpga_parameters:
-            points = np.column_stack(
-                [
-                    [state.error_value(name) for name in measured_names],
-                    [state.records[name].fpga.parameter(parameter) for name in measured_names],
-                ]
-            )
-            front = pareto_front_indices(points)
-            fronts[parameter] = [measured_names[i] for i in front]
+            front = ParetoArchive(num_objectives=2)
+            for name in measured_names:
+                front.insert(
+                    name,
+                    (state.error_value(name), state.records[name].fpga.parameter(parameter)),
+                )
+            fronts[parameter] = front.keys()
         return {"fronts": fronts}
 
     def absorb(self, state: ApproxFpgasState, payload: dict) -> None:

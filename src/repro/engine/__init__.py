@@ -20,7 +20,14 @@ from .evaluator import (
     fpga_report_from_payload,
     fpga_report_to_payload,
 )
-from .keys import blake_token, cache_key, configuration_token, images_token
+from .keys import (
+    accelerator_context,
+    accelerator_token,
+    blake_token,
+    cache_key,
+    configuration_token,
+    images_token,
+)
 
 __all__ = [
     "CacheStats",
@@ -33,6 +40,8 @@ __all__ = [
     "error_report_to_payload",
     "fpga_report_from_payload",
     "fpga_report_to_payload",
+    "accelerator_context",
+    "accelerator_token",
     "blake_token",
     "cache_key",
     "configuration_token",

@@ -23,6 +23,7 @@ circuits.  It combines three mechanisms:
 from __future__ import annotations
 
 import os
+import pickle
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -44,7 +45,7 @@ from ..error import ErrorEvaluator, ErrorReport
 from ..error.metrics import ErrorMetrics, compute_error_metrics
 from ..fpga import FpgaReport, FpgaSynthesizer
 from .cache import EvalCache
-from .keys import blake_token, cache_key
+from .keys import accelerator_context, blake_token, cache_key, configuration_token
 
 __all__ = ["BatchEvaluator", "LibraryEvaluation"]
 
@@ -127,6 +128,27 @@ def _worker_fpga(task: Tuple[str, FpgaSynthesizer, List[Netlist]]) -> List[dict]
     context, synthesizer, circuits = task
     cached = _WORKER_STATE.setdefault(context, synthesizer)
     return [_fpga_report_to_payload(cached.synthesize(circuit)) for circuit in circuits]
+
+
+def _worker_configurations(task) -> List[dict]:
+    """Exactly evaluate accelerator configurations against prepared images.
+
+    The accelerator is duck-typed (``prepare_images``/``evaluate_prepared``);
+    the prepared per-image planes and golden references are memoised per
+    context so a chunked map pays the image preparation once per process.
+    """
+    context, accelerator, images, configurations = task
+    prepared = _WORKER_STATE.get(context)
+    if prepared is None:
+        prepared = accelerator.prepare_images(images)
+        _WORKER_STATE[context] = prepared
+    payloads = []
+    for configuration in configurations:
+        quality, cost = accelerator.evaluate_prepared(prepared, configuration)
+        payloads.append(
+            {"quality": float(quality), "cost": {name: float(v) for name, v in cost.items()}}
+        )
+    return payloads
 
 
 def _chunk(items: List, num_chunks: int) -> List[List]:
@@ -224,6 +246,7 @@ class BatchEvaluator:
 
         self._layout_bits: Dict[Tuple, np.ndarray] = {}
         self._layout_planes: Dict[Tuple, np.ndarray] = {}
+        self._prepared_images: Dict[str, object] = {}
         self._error_context: Optional[str] = None
         self._asic_context: Optional[str] = None
         self._fpga_context: Optional[str] = None
@@ -465,6 +488,97 @@ class BatchEvaluator:
             make_task=lambda ctx, chunk: (ctx, self.fpga_synthesizer, chunk),
             worker=_worker_fpga,
         )
+
+    def evaluate_configurations(self, accelerator, images, configurations) -> List[dict]:
+        """Exact ``{"quality", "cost"}`` payloads for accelerator configurations.
+
+        The generation-batched counterpart of the per-configuration exact
+        evaluation in :mod:`repro.autoax.search`: per-image work (shifted
+        planes, golden reference outputs) is prepared once and shared by the
+        whole batch, repeated configurations within one call are computed
+        once, and large miss sets fan out over the process pool.  Results
+        are cached under the same ``axq`` keys the serial path uses
+        (:func:`repro.engine.keys.accelerator_context`), so hits flow in
+        both directions and values are bit-identical by construction.
+
+        The accelerator only needs ``multipliers``/``adders`` component
+        lists plus ``prepare_images``/``evaluate_prepared`` -- the engine
+        stays decoupled from :mod:`repro.autoax`.
+        """
+        configurations = list(configurations)
+        images = list(images)
+        context = accelerator_context(accelerator, images)
+        keys = [
+            cache_key(
+                "axq",
+                context,
+                configuration_token(config.multiplier_indices, config.adder_indices),
+            )
+            for config in configurations
+        ]
+        results: List[Optional[dict]] = [None] * len(configurations)
+
+        pending: Dict[str, List[int]] = {}
+        for index, key in enumerate(keys):
+            if key in pending:
+                pending[key].append(index)
+                continue
+            hit = self.cache.get(key)
+            if hit is not None:
+                results[index] = hit
+            else:
+                pending[key] = [index]
+
+        miss_keys = list(pending)
+        if not miss_keys:
+            # Fully cached batch (e.g. a warm disk-backed cache): skip the
+            # image preparation entirely.
+            return results  # type: ignore[return-value]
+        miss_configs = [configurations[pending[key][0]] for key in miss_keys]
+        workers = self._resolve_workers(len(miss_configs))
+
+        def compute_serial() -> List[dict]:
+            prepared = self._prepared_images.get(context)
+            if prepared is None:
+                prepared = accelerator.prepare_images(images)
+                # Keep the memo tiny: prepared planes are per-image arrays
+                # and sessions rarely juggle more than a few image sets.
+                if len(self._prepared_images) >= 4:
+                    self._prepared_images.clear()
+                self._prepared_images[context] = prepared
+            payloads = []
+            for config in miss_configs:
+                quality, cost = accelerator.evaluate_prepared(prepared, config)
+                payloads.append(
+                    {
+                        "quality": float(quality),
+                        "cost": {name: float(v) for name, v in cost.items()},
+                    }
+                )
+            return payloads
+
+        if workers:
+            chunks = _chunk(miss_configs, workers)
+            tasks = [(context, accelerator, images, chunk) for chunk in chunks]
+            try:
+                with ProcessPoolExecutor(max_workers=len(chunks)) as executor:
+                    payloads = [
+                        payload
+                        for chunk_result in executor.map(_worker_configurations, tasks)
+                        for payload in chunk_result
+                    ]
+            except (OSError, BrokenExecutor, pickle.PicklingError, TypeError):
+                # Sandboxed environments, dead workers, or unpicklable
+                # accelerators: degrade to the serial batched path.
+                payloads = compute_serial()
+        else:
+            payloads = compute_serial()
+
+        for key, payload in zip(miss_keys, payloads):
+            self.cache.put(key, payload)
+            for index in pending[key]:
+                results[index] = payload
+        return results  # type: ignore[return-value]
 
     def evaluate_library(self, library, include_fpga: bool = False) -> LibraryEvaluation:
         """Errors + ASIC (and optionally FPGA) reports for a whole library."""

@@ -62,3 +62,22 @@ def configuration_token(multiplier_indices: Sequence[int], adder_indices: Sequen
     m = ",".join(str(int(i)) for i in multiplier_indices)
     a = ",".join(str(int(i)) for i in adder_indices)
     return f"m{m}|a{a}"
+
+
+def accelerator_token(accelerator) -> str:
+    """Digest of the component sets an accelerator is built from.
+
+    Duck-typed over anything exposing ``multipliers``/``adders`` sequences of
+    components with a ``netlist.fingerprint()``; shared by
+    :mod:`repro.autoax.search` and the engine's batched configuration
+    evaluation so their ``axq`` cache keys can never drift apart.
+    """
+    return blake_token(
+        [component.netlist.fingerprint() for component in accelerator.multipliers],
+        [component.netlist.fingerprint() for component in accelerator.adders],
+    )
+
+
+def accelerator_context(accelerator, images) -> str:
+    """Cache context of exact accelerator evaluations on one image set."""
+    return blake_token(accelerator_token(accelerator), images_token(images))

@@ -127,7 +127,26 @@ class DecisionTreeRegressor(Regressor):
         return node.value
 
     def _predict(self, X: np.ndarray) -> np.ndarray:
-        return np.array([self._predict_one(row) for row in X])
+        # Small batches walk the tree per row; larger ones partition the
+        # whole index set through each node with vectorised comparisons --
+        # identical splits and leaf values, so both paths are bit-identical,
+        # but population-sized batches stop paying a Python traversal per
+        # sample (the per-generation scoring hot path of the NSGA-II search).
+        if X.shape[0] <= 4:
+            return np.array([self._predict_one(row) for row in X])
+        out = np.empty(X.shape[0], dtype=np.float64)
+        stack = [(self.tree_, np.arange(X.shape[0]))]
+        while stack:
+            node, indices = stack.pop()
+            if indices.size == 0:
+                continue
+            if node.is_leaf:
+                out[indices] = node.value
+                continue
+            mask = X[indices, node.feature] <= node.threshold
+            stack.append((node.left, indices[mask]))
+            stack.append((node.right, indices[~mask]))
+        return out
 
     def depth(self) -> int:
         """Actual depth of the grown tree."""

@@ -1,0 +1,36 @@
+"""Population-based multi-objective search subsystem.
+
+The package holds the problem-agnostic half of the repo's searches:
+
+* :class:`ParetoArchive` -- the shared incremental non-dominated archive
+  (crowding distance, 2-D hypervolume, JSON checkpointing) used by every
+  strategy in :data:`repro.autoax.SEARCH_STRATEGIES` and by the
+  methodology's front bookkeeping (:mod:`repro.core.stages`);
+* :func:`run_nsga2` -- a generic, resumable NSGA-II loop over tuple genomes
+  with generation-batched evaluation.
+
+The AutoAx configuration-space strategies themselves (including the
+``"nsga2"`` adapter) live in :mod:`repro.autoax.search`, which builds on
+this package.
+"""
+
+from .archive import ArchiveEntry, ParetoArchive, crowding_distances, non_dominated_ranks
+from .nsga2 import (
+    Nsga2Config,
+    Nsga2Result,
+    genome_token,
+    run_nsga2,
+    select_next_population,
+)
+
+__all__ = [
+    "ArchiveEntry",
+    "ParetoArchive",
+    "crowding_distances",
+    "non_dominated_ranks",
+    "Nsga2Config",
+    "Nsga2Result",
+    "genome_token",
+    "run_nsga2",
+    "select_next_population",
+]
