@@ -1,0 +1,119 @@
+"""Cross-workload matrix: every built-in workload through one shared session.
+
+The scenario-diversity counterpart of the Fig. 9 benchmark: the same
+component libraries drive the AutoAx-FPGA flow on each registered workload
+(``gaussian`` / ``sobel`` / ``sharpen``) inside **one**
+:class:`repro.api.ExplorationSession`, demonstrating that
+
+* the staged flow, the estimators and the batched engine are
+  workload-agnostic (different slot shapes and quality metrics end to end);
+* circuit-level evaluations (error metrics, FPGA reports) are paid once and
+  shared across workloads through the session cache, while accelerator
+  configuration entries stay namespaced per workload (re-running a workload
+  is served from cache; a different workload is not);
+* every workload completes with a non-empty exact Pareto front and a
+  well-formed hypervolume comparison against its random baseline.
+
+Set ``REPRO_BENCH_QUICK=1`` (the CI jobs do) to shrink the study sizes.
+No wall-clock floors are asserted: the benchmark pins structural and
+cache-accounting properties only, so it is stable on loaded machines.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.api import ExplorationSession
+from repro.autoax import AutoAxConfig, components_from_library
+from repro.generators import build_adder_library, build_multiplier_library
+from repro.workloads import WORKLOADS
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+STUDY = dict(
+    parameters=("area",),
+    num_training_samples=8 if QUICK else 20,
+    num_random_baseline=6 if QUICK else 16,
+    hill_climb_iterations=30 if QUICK else 120,
+    image_size=16 if QUICK else 32,
+    seed=11,
+    search_strategy="nsga2",
+)
+
+
+@pytest.fixture(scope="module")
+def components():
+    multipliers = components_from_library(
+        build_multiplier_library(8, size=24 if QUICK else 40, seed=31), 6, max_error=0.1
+    )
+    adders = components_from_library(
+        build_adder_library(16, size=18 if QUICK else 28, seed=37), 5, max_error=0.02
+    )
+    return multipliers, adders
+
+
+def test_cross_workload_matrix(components):
+    session = ExplorationSession(seed=11)
+    rows = []
+    for workload in WORKLOADS.keys():
+        started = time.perf_counter()
+        result = session.run_autoax(
+            *components, AutoAxConfig(workload=workload, **STUDY)
+        )
+        elapsed = time.perf_counter() - started
+        scenario = result.scenarios["area"]
+        comparison = result.hypervolume_comparison("area")
+        rows.append(
+            (
+                workload,
+                result.design_space_size,
+                len(scenario.front),
+                comparison["autoax"],
+                comparison["random"],
+                elapsed,
+            )
+        )
+
+    print("\n=== cross-workload AutoAx matrix (shared session, NSGA-II) ===")
+    print(f"{'workload':<10} {'design space':>14} {'front':>6} "
+          f"{'HV autoax':>12} {'HV random':>12} {'time s':>8}")
+    for workload, space, front, hv_autoax, hv_random, elapsed in rows:
+        print(f"{workload:<10} {space:>14.2e} {front:>6d} "
+              f"{hv_autoax:>12.2f} {hv_random:>12.2f} {elapsed:>8.2f}")
+
+    stats = session.stats()
+    print(f"shared cache: {stats.lookups} lookups, {stats.hit_rate:.0%} hit rate, "
+          f"{stats.size} entries")
+
+    # Structural floors: every workload completes with a non-empty exact
+    # front and a sane hypervolume comparison.
+    assert len(rows) >= 3
+    for workload, _, front, hv_autoax, hv_random, _ in rows:
+        assert front >= 1, f"{workload}: empty exact Pareto front"
+        assert hv_autoax >= 0.0 and hv_random >= 0.0
+
+
+def test_repeat_workload_run_is_served_from_cache(components):
+    """Re-running one workload in the same session hits the accelerator
+    cache for every exact configuration evaluation; the second run's new
+    misses stay at zero while a *different* workload still misses."""
+    session = ExplorationSession(seed=11)
+    config = AutoAxConfig(workload="sobel", **STUDY)
+    session.run_autoax(*components, config)
+    cold = session.stats()
+    session.run_autoax(*components, config)
+    warm = session.stats()
+    repeat_lookups = warm.lookups - cold.lookups
+    repeat_hits = warm.hits - cold.hits
+    assert repeat_lookups > 0
+    assert repeat_hits / repeat_lookups == pytest.approx(1.0)
+    print(f"\nsobel repeat run: {repeat_lookups} lookups, 100% served from cache")
+
+    session.run_autoax(*components, AutoAxConfig(workload="sharpen", **STUDY))
+    cross = session.stats()
+    assert cross.misses > warm.misses, "a different workload must not alias the cache"
+    print(f"sharpen after sobel: {cross.misses - warm.misses} fresh evaluations "
+          "(no cross-workload aliasing)")

@@ -5,11 +5,13 @@ Nine Pareto-optimal approximate 8x8 multipliers and eight approximate 16-bit
 adders (as in the paper) are fed to the AutoAx-FPGA flow, which searches the
 ~1e14-configuration design space with estimator-driven hill climbing and
 compares the result against random search.  The flow runs as a staged
-pipeline inside an :class:`repro.api.ExplorationSession`, so exact
-evaluations are shared between scenarios through the session cache and the
-search strategy is picked from the :data:`repro.autoax.SEARCH_STRATEGIES`
-registry (``"hill_climb"`` here; try ``"random_archive"`` for the
-mutation-free ablation).
+pipeline inside an :class:`repro.api.ExplorationSession`: the accelerator is
+resolved from the :data:`repro.workloads.WORKLOADS` registry (``"gaussian"``
+here -- ``"sobel"`` and ``"sharpen"`` ship alongside it, see
+``autoax_sobel_search.py``), exact evaluations are shared between scenarios
+through the session cache, and the search strategy is picked from the
+:data:`repro.autoax.SEARCH_STRATEGIES` registry (``"hill_climb"`` here; try
+``"random_archive"`` for the mutation-free ablation).
 
 Run with:  python examples/autoax_gaussian_filter.py
 
@@ -44,6 +46,7 @@ def main() -> None:
         image_size=48,
         seed=17,
         search_strategy="hill_climb",   # a repro.autoax.SEARCH_STRATEGIES key
+        workload="gaussian",            # a repro.workloads.WORKLOADS key
     )
     session = ExplorationSession(seed=config.seed)
 

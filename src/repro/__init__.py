@@ -12,8 +12,12 @@ The package is organised as the paper's system diagram (Fig. 2):
 * :mod:`repro.engine` -- the parallel cached evaluation engine (see below),
 * :mod:`repro.search` -- the shared Pareto archive and the generic
   resumable NSGA-II population search,
+* :mod:`repro.workloads` -- pluggable accelerator workloads (the
+  ``WORKLOADS`` registry, the ``ApproxAccelerator`` protocol, quality
+  metrics and seeded input sets),
 * :mod:`repro.api` -- the public session / pipeline / registry API (see below),
-* :mod:`repro.autoax` -- the AutoAx-FPGA Gaussian-filter case study.
+* :mod:`repro.autoax` -- the AutoAx-FPGA case study machinery
+  (estimators, search strategies, staged flow) over those workloads.
 
 Public API
 ----------
@@ -30,11 +34,14 @@ New code should drive the flows through :mod:`repro.api`:
   staged-flow machinery (stage decompositions live in
   :mod:`repro.core.stages` and :mod:`repro.autoax.stages`).
 * The plugin registries -- :data:`repro.ml.MODELS`,
-  :data:`repro.error.ERROR_METRICS`, :data:`repro.api.SYNTHESIZERS` and
+  :data:`repro.error.ERROR_METRICS`, :data:`repro.api.SYNTHESIZERS`,
+  :data:`repro.workloads.WORKLOADS`,
+  :data:`repro.workloads.QUALITY_METRICS` and
   :data:`repro.autoax.SEARCH_STRATEGIES` -- are string-keyed extension
-  points; new models, error metrics, substrates and search strategies plug
-  in by registering a key instead of editing flow internals.  Unknown keys
-  raise :class:`repro.registry.RegistryError` listing the available keys.
+  points; new models, error metrics, substrates, accelerator workloads,
+  quality metrics and search strategies plug in by registering a key
+  instead of editing flow internals.  Unknown keys raise
+  :class:`repro.registry.RegistryError` listing the available keys.
 
 The historical entry points (:class:`repro.core.ApproxFpgasFlow`,
 :func:`repro.core.run_approxfpgas`, :class:`repro.autoax.AutoAxFpgaFlow`)
@@ -96,7 +103,7 @@ from .core import ApproxFpgasConfig, ApproxFpgasFlow, run_approxfpgas
 from .engine import BatchEvaluator, EvalCache
 from .generators import CircuitLibrary, build_adder_library, build_multiplier_library
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ApproxFpgasConfig",

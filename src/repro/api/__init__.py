@@ -9,9 +9,10 @@ This package is the recommended entry point for new code:
   per-stage timing, progress callbacks and checkpoint/resume via
   :class:`repro.io.JsonDirectoryStore`;
 * the plugin registries (:data:`MODELS`, :data:`ERROR_METRICS`,
-  :data:`SYNTHESIZERS`, :data:`SEARCH_STRATEGIES`) through which new
-  models, metrics, substrates and searches plug in without editing flow
-  internals.
+  :data:`SYNTHESIZERS`, :data:`WORKLOADS`, :data:`QUALITY_METRICS`,
+  :data:`SEARCH_STRATEGIES`) through which new models, metrics,
+  substrates, accelerator workloads and searches plug in without editing
+  flow internals.
 
 The legacy entry points (:class:`repro.core.ApproxFpgasFlow`,
 :func:`repro.core.run_approxfpgas`, :class:`repro.autoax.AutoAxFpgaFlow`)
@@ -30,7 +31,9 @@ from .pipeline import (
 from .registries import (
     ERROR_METRICS,
     MODELS,
+    QUALITY_METRICS,
     SYNTHESIZERS,
+    WORKLOADS,
     Registry,
     RegistryError,
     resolve_synthesizer,
@@ -51,6 +54,8 @@ __all__ = [
     "MODELS",
     "ERROR_METRICS",
     "SYNTHESIZERS",
+    "WORKLOADS",
+    "QUALITY_METRICS",
     "SEARCH_STRATEGIES",
     "resolve_synthesizer",
 ]

@@ -1,11 +1,15 @@
 """The package's plugin registries, collected in one place.
 
-Four string-keyed extension points cover the axes along which scenarios
+Six string-keyed extension points cover the axes along which scenarios
 vary:
 
 * :data:`repro.ml.MODELS` -- cost-model regressors (Table I zoo built in),
 * :data:`repro.error.ERROR_METRICS` -- error-metric extractors,
 * :data:`SYNTHESIZERS` (here) -- synthesis substrates,
+* :data:`repro.workloads.WORKLOADS` -- accelerator case studies
+  (``"gaussian"``, ``"sobel"``, ``"sharpen"``), re-exported here,
+* :data:`repro.workloads.QUALITY_METRICS` -- workload quality metrics
+  (``"ssim"``, ``"psnr"``, ``"gms"``), re-exported here,
 * :data:`repro.autoax.SEARCH_STRATEGIES` -- configuration-space searches
   (``"hill_climb"``, ``"random_archive"`` and the population-based
   ``"nsga2"`` built on :mod:`repro.search`); it is not re-exported here
@@ -23,6 +27,7 @@ from ..error.metrics import ERROR_METRICS
 from ..fpga import FpgaSynthesizer
 from ..ml.model_zoo import MODELS
 from ..registry import Registry, RegistryError
+from ..workloads import QUALITY_METRICS, WORKLOADS
 
 __all__ = [
     "Registry",
@@ -30,6 +35,8 @@ __all__ = [
     "MODELS",
     "ERROR_METRICS",
     "SYNTHESIZERS",
+    "WORKLOADS",
+    "QUALITY_METRICS",
     "resolve_synthesizer",
 ]
 

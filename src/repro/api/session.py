@@ -205,19 +205,24 @@ class ExplorationSession:
     ):
         """Run the staged AutoAx-FPGA case study on the given components.
 
-        The session cache is shared with every other run, so exact
-        accelerator evaluations are reused across scenarios, baselines and
-        repeated studies, and the session's accelerator engine batches them
-        per generation (pick the population search with
-        ``AutoAxConfig(search_strategy="nsga2")``).  Returns the
+        The accelerator workload is picked with ``AutoAxConfig(workload=...)``
+        from the :data:`repro.workloads.WORKLOADS` registry (``"gaussian"``
+        by default; ``"sobel"`` and ``"sharpen"`` ship built in, and custom
+        workloads plug in by registering a key).  The session cache is
+        shared with every other run, so exact accelerator evaluations are
+        reused across scenarios, baselines and repeated studies -- engine
+        cache keys are namespaced per workload, so two workloads over the
+        same component libraries never alias -- and the session's
+        accelerator engine batches them per generation (pick the population
+        search with ``AutoAxConfig(search_strategy="nsga2")``).  Returns the
         :class:`~repro.autoax.flow.AutoAxResult`; per-stage timings land in
-        :attr:`runs`.
+        :attr:`runs` under a per-workload run id.
         """
         from ..autoax.flow import AutoAxConfig
-        from ..autoax.stages import run_autoax_pipeline
+        from ..autoax.stages import default_autoax_run_id, run_autoax_pipeline
 
         config = config or AutoAxConfig(seed=self.seed)
-        run_id = run_id or "autoax-gaussian-filter"
+        run_id = run_id or default_autoax_run_id(config.workload)
         result, run = run_autoax_pipeline(
             multipliers,
             adders,

@@ -1,4 +1,12 @@
-"""AutoAx-FPGA case study: Gaussian-filter accelerator component selection."""
+"""AutoAx-FPGA case study: accelerator component selection over pluggable workloads.
+
+The accelerator behavioural models, components, quality metrics and input
+sets live in :mod:`repro.workloads` (the Gaussian filter is the registered
+``"gaussian"`` workload; ``"sobel"`` and ``"sharpen"`` ship alongside it);
+this package keeps the case-study machinery -- estimators, search
+strategies, the staged flow -- and re-exports the workload names it
+historically owned.  Pick a workload with ``AutoAxConfig(workload=...)``.
+"""
 
 from .images import (
     blob_image,
@@ -39,7 +47,13 @@ from .search import (
     random_search,
 )
 from .flow import AutoAxConfig, AutoAxFlow, AutoAxFpgaFlow, AutoAxResult, ScenarioResult
-from .stages import AutoAxState, autoax_stages, build_autoax_result, run_autoax_pipeline
+from .stages import (
+    AutoAxState,
+    autoax_stages,
+    build_autoax_result,
+    default_autoax_run_id,
+    run_autoax_pipeline,
+)
 
 __all__ = [
     "blob_image",
@@ -82,5 +96,6 @@ __all__ = [
     "AutoAxState",
     "autoax_stages",
     "build_autoax_result",
+    "default_autoax_run_id",
     "run_autoax_pipeline",
 ]

@@ -1,374 +1,56 @@
-"""Behavioural model of the Gaussian-filter accelerator.
+"""Back-compat home of the Gaussian-filter accelerator and its components.
 
-The accelerator is the paper's AutoAx-FPGA case study: a 3x3 Gaussian filter
-whose nine constant-coefficient multiplications and eight accumulation
-additions are each bound to one approximate component from the
-ApproxFPGAs-produced libraries (8x8 multipliers and 16-bit adders).  The
-behavioural model applies the filter to images through the components'
-gate-level behavioural models, and the hardware cost of a configuration is
-composed from the components' FPGA reports (documented substitution for
-re-synthesising the flat accelerator in Vivado).
+The behavioural model, the component machinery and the kernel constants
+now live in the generic workload subsystem (:mod:`repro.workloads`) --
+the Gaussian filter is its first registered workload (``"gaussian"``) and
+its seeded behaviour is bit-identical to the historical implementation
+here.  This module re-exports the public names so existing imports keep
+working, and keeps the legacy :class:`Configuration` class whose slot
+counts are pinned to the Gaussian datapath (9 multipliers, 8 adders).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
+from ..workloads import (
+    GAUSSIAN_KERNEL_3X3,
+    KERNEL_SHIFT,
+    NUM_ADDER_SLOTS,
+    NUM_MULTIPLIER_SLOTS,
+    ApproxComponent,
+    GaussianFilterAccelerator,
+    SlotConfiguration,
+    build_component,
+    components_from_library,
+)
 
-from ..circuits import Netlist
-from ..error import ErrorEvaluator, ErrorReport
-from ..fpga import FpgaReport, FpgaSynthesizer
-from ..generators import CircuitLibrary
-
-#: Integer 3x3 Gaussian kernel.  The classic 1-2-1 kernel is scaled by 16 so
-#: the coefficients exercise the upper operand bits of the 8x8 multipliers
-#: (sum = 256, i.e. an 8-bit right shift at the end), matching how fixed-point
-#: filter coefficients are quantised in the AutoAx case study.
-GAUSSIAN_KERNEL_3X3: Tuple[Tuple[int, ...], ...] = ((16, 32, 16), (32, 64, 32), (16, 32, 16))
-KERNEL_SHIFT = 8
-
-NUM_MULTIPLIER_SLOTS = 9
-NUM_ADDER_SLOTS = 8
-
-
-@dataclass
-class ApproxComponent:
-    """One approximate arithmetic component available to the accelerator."""
-
-    name: str
-    kind: str
-    netlist: Netlist
-    fpga: FpgaReport
-    error: ErrorReport
-    _table: Optional[np.ndarray] = None
-
-    @property
-    def operand_width(self) -> int:
-        return self.netlist.word_width("a")
-
-    def _lookup_table(self) -> np.ndarray:
-        """Exhaustive output table (built lazily, only for narrow operands)."""
-        if self._table is None:
-            self._table = self.netlist.exhaustive_outputs()
-        return self._table
-
-    def compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Behaviourally evaluate the component on operand vectors."""
-        a = np.asarray(a, dtype=np.int64)
-        b = np.asarray(b, dtype=np.int64)
-        width = self.operand_width
-        mask = (1 << width) - 1
-        a = a & mask
-        b = b & mask
-        if width <= 10:
-            table = self._lookup_table()
-            width_b = self.netlist.word_width("b")
-            return table[a * (1 << width_b) + b]
-        return self.netlist.evaluate_words({"a": a, "b": b})
+__all__ = [
+    "GAUSSIAN_KERNEL_3X3",
+    "KERNEL_SHIFT",
+    "NUM_ADDER_SLOTS",
+    "NUM_MULTIPLIER_SLOTS",
+    "ApproxComponent",
+    "Configuration",
+    "GaussianFilterAccelerator",
+    "build_component",
+    "components_from_library",
+]
 
 
-@dataclass(frozen=True)
-class Configuration:
-    """Assignment of components to the accelerator's operator slots."""
+@dataclass(frozen=True, eq=False)
+class Configuration(SlotConfiguration):
+    """Assignment of components to the Gaussian accelerator's operator slots.
 
-    multiplier_indices: Tuple[int, ...]
-    adder_indices: Tuple[int, ...]
+    The legacy, shape-pinned configuration: construction validates the
+    historical 9-multiplier / 8-adder slot counts.  Workload-generic code
+    uses :class:`repro.workloads.SlotConfiguration` (via
+    :meth:`repro.workloads.ApproxAccelerator.make_configuration`), which
+    compares equal to this class on the same index tuples.
+    """
 
     def __post_init__(self) -> None:
         if len(self.multiplier_indices) != NUM_MULTIPLIER_SLOTS:
             raise ValueError(f"expected {NUM_MULTIPLIER_SLOTS} multiplier slots")
         if len(self.adder_indices) != NUM_ADDER_SLOTS:
             raise ValueError(f"expected {NUM_ADDER_SLOTS} adder slots")
-
-
-def build_component(
-    netlist: Netlist,
-    fpga_synthesizer: FpgaSynthesizer,
-    evaluator: ErrorEvaluator,
-    fpga_report: Optional[FpgaReport] = None,
-    error_report: Optional[ErrorReport] = None,
-) -> ApproxComponent:
-    """Wrap a netlist into an :class:`ApproxComponent` with costs and error."""
-    return ApproxComponent(
-        name=netlist.name,
-        kind=netlist.kind,
-        netlist=netlist,
-        fpga=fpga_report or fpga_synthesizer.synthesize(netlist),
-        error=error_report or evaluator.evaluate(netlist),
-    )
-
-
-def components_from_library(
-    library: CircuitLibrary,
-    count: int,
-    fpga_synthesizer: Optional[FpgaSynthesizer] = None,
-    parameter: str = "area",
-    max_error: float = 0.1,
-    seed: int = 5,
-    engine: Optional["BatchEvaluator"] = None,
-) -> List[ApproxComponent]:
-    """Pick ``count`` Pareto-spread components from a library.
-
-    The circuits are synthesized, circuits whose MED exceeds ``max_error``
-    are discarded (an accelerator built from arbitrarily wrong arithmetic is
-    useless, and the paper feeds AutoAx-FPGA only Pareto-optimal components),
-    the (error, cost) Pareto front of the remainder is computed and ``count``
-    components are taken spread along the front.  If the front is shorter
-    than ``count`` the least-error dominated circuits fill in.
-
-    Evaluation is batched through :class:`repro.engine.BatchEvaluator`; pass
-    an ``engine`` (e.g. one shared with an ApproxFPGAs flow over the same
-    library) to reuse its cached error metrics and FPGA reports.
-    """
-    from ..core.pareto import pareto_front_indices
-    from ..engine import BatchEvaluator
-
-    if engine is None:
-        engine = BatchEvaluator(
-            library.reference(), fpga_synthesizer=fpga_synthesizer or FpgaSynthesizer()
-        )
-    elif fpga_synthesizer is not None:
-        if engine.fpga_synthesizer is None:
-            engine.fpga_synthesizer = fpga_synthesizer
-        elif engine.fpga_synthesizer is not fpga_synthesizer:
-            raise ValueError(
-                "conflicting fpga_synthesizer: the provided engine already has "
-                "its own; pass one or the other"
-            )
-    all_circuits = list(library)
-    all_errors = engine.evaluate_errors(all_circuits)
-    keep = [i for i, e in enumerate(all_errors) if e.med <= max_error]
-    if len(keep) < count:
-        # Not enough accurate circuits: fall back to the lowest-error ones.
-        keep = sorted(range(len(all_circuits)), key=lambda i: all_errors[i].med)[: max(count, 1)]
-    circuits = [all_circuits[i] for i in keep]
-    errors = [all_errors[i] for i in keep]
-    reports = engine.evaluate_fpga(circuits)
-
-    points = np.column_stack(
-        [[e.med for e in errors], [r.parameter(parameter) for r in reports]]
-    )
-    front = pareto_front_indices(points)
-    rng = np.random.default_rng(seed)
-    if len(front) >= count:
-        chosen = [front[i] for i in np.linspace(0, len(front) - 1, count).round().astype(int)]
-        # linspace rounding may duplicate for short fronts; de-duplicate then top up.
-        chosen = list(dict.fromkeys(chosen))
-    else:
-        chosen = list(front)
-    remaining = sorted(
-        (i for i in range(len(circuits)) if i not in set(chosen)),
-        key=lambda i: errors[i].med,
-    )
-    while len(chosen) < count and remaining:
-        chosen.append(remaining.pop(0))
-
-    return [
-        ApproxComponent(
-            name=circuits[i].name,
-            kind=circuits[i].kind,
-            netlist=circuits[i],
-            fpga=reports[i],
-            error=errors[i],
-        )
-        for i in chosen[:count]
-    ]
-
-
-class GaussianFilterAccelerator:
-    """3x3 Gaussian-filter accelerator with configurable approximate operators."""
-
-    def __init__(
-        self,
-        multipliers: Sequence[ApproxComponent],
-        adders: Sequence[ApproxComponent],
-    ):
-        if not multipliers or not adders:
-            raise ValueError("at least one multiplier and one adder component are required")
-        for component in multipliers:
-            if component.kind != "multiplier":
-                raise ValueError(f"component {component.name!r} is not a multiplier")
-        for component in adders:
-            if component.kind != "adder":
-                raise ValueError(f"component {component.name!r} is not an adder")
-        self.multipliers = list(multipliers)
-        self.adders = list(adders)
-        self._kernel_flat = [
-            GAUSSIAN_KERNEL_3X3[i][j] for i in range(3) for j in range(3)
-        ]
-
-    # ------------------------------------------------------------------ #
-    # Configuration handling
-    # ------------------------------------------------------------------ #
-    @property
-    def design_space_size(self) -> int:
-        """Number of distinct component assignments."""
-        return len(self.multipliers) ** NUM_MULTIPLIER_SLOTS * len(self.adders) ** NUM_ADDER_SLOTS
-
-    def exact_configuration(self) -> Configuration:
-        """Configuration using the most accurate available component everywhere."""
-        best_multiplier = int(np.argmin([c.error.med for c in self.multipliers]))
-        best_adder = int(np.argmin([c.error.med for c in self.adders]))
-        return Configuration(
-            multiplier_indices=(best_multiplier,) * NUM_MULTIPLIER_SLOTS,
-            adder_indices=(best_adder,) * NUM_ADDER_SLOTS,
-        )
-
-    def random_configuration(self, rng: np.random.Generator) -> Configuration:
-        return Configuration(
-            multiplier_indices=tuple(
-                int(i) for i in rng.integers(0, len(self.multipliers), NUM_MULTIPLIER_SLOTS)
-            ),
-            adder_indices=tuple(
-                int(i) for i in rng.integers(0, len(self.adders), NUM_ADDER_SLOTS)
-            ),
-        )
-
-    def mutate_configuration(self, config: Configuration, rng: np.random.Generator) -> Configuration:
-        """Change the component of one randomly chosen slot (hill-climbing move)."""
-        multiplier_indices = list(config.multiplier_indices)
-        adder_indices = list(config.adder_indices)
-        if rng.random() < NUM_MULTIPLIER_SLOTS / (NUM_MULTIPLIER_SLOTS + NUM_ADDER_SLOTS):
-            slot = int(rng.integers(0, NUM_MULTIPLIER_SLOTS))
-            multiplier_indices[slot] = int(rng.integers(0, len(self.multipliers)))
-        else:
-            slot = int(rng.integers(0, NUM_ADDER_SLOTS))
-            adder_indices[slot] = int(rng.integers(0, len(self.adders)))
-        return Configuration(tuple(multiplier_indices), tuple(adder_indices))
-
-    # ------------------------------------------------------------------ #
-    # Behavioural execution
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _shifted_planes(image: np.ndarray) -> List[np.ndarray]:
-        """The nine 3x3-neighbourhood planes of the image (reflect padding)."""
-        padded = np.pad(image.astype(np.int64), 1, mode="reflect")
-        height, width = image.shape
-        planes = []
-        for dy in range(3):
-            for dx in range(3):
-                planes.append(padded[dy:dy + height, dx:dx + width])
-        return planes
-
-    def _exact_from_planes(self, planes: List[np.ndarray]) -> np.ndarray:
-        accumulator = np.zeros_like(planes[0])
-        for plane, coefficient in zip(planes, self._kernel_flat):
-            accumulator += plane * coefficient
-        return np.clip(accumulator >> KERNEL_SHIFT, 0, 255).astype(np.uint8)
-
-    def exact_filter(self, image: np.ndarray) -> np.ndarray:
-        """Golden output of the filter with exact integer arithmetic."""
-        return self._exact_from_planes(self._shifted_planes(image))
-
-    def apply(self, image: np.ndarray, config: Configuration) -> np.ndarray:
-        """Output of the filter when executed with the configured components."""
-        image = np.asarray(image)
-        if image.ndim != 2:
-            raise ValueError("expected a 2-D grayscale image")
-        return self._apply_planes(self._shifted_planes(image), config)
-
-    def _apply_planes(self, planes: List[np.ndarray], config: Configuration) -> np.ndarray:
-        shape = planes[0].shape
-
-        products: List[np.ndarray] = []
-        for slot, (plane, coefficient) in enumerate(zip(planes, self._kernel_flat)):
-            multiplier = self.multipliers[config.multiplier_indices[slot]]
-            coefficients = np.full(plane.size, coefficient, dtype=np.int64)
-            products.append(multiplier.compute(plane.ravel(), coefficients))
-
-        def add(slot: int, left: np.ndarray, right: np.ndarray) -> np.ndarray:
-            adder = self.adders[config.adder_indices[slot]]
-            return adder.compute(left, right)
-
-        # Balanced accumulation tree: 4 + 2 + 1 internal adders, plus the
-        # final addition of the ninth product.
-        level_one = [add(i, products[2 * i], products[2 * i + 1]) for i in range(4)]
-        level_two = [add(4, level_one[0], level_one[1]), add(5, level_one[2], level_one[3])]
-        level_three = add(6, level_two[0], level_two[1])
-        total = add(7, level_three, products[8])
-
-        result = np.clip(total >> KERNEL_SHIFT, 0, 255)
-        return result.reshape(shape).astype(np.uint8)
-
-    # ------------------------------------------------------------------ #
-    # Cost and quality models
-    # ------------------------------------------------------------------ #
-    def hw_cost(self, config: Configuration) -> Dict[str, float]:
-        """Composed FPGA cost of a configuration.
-
-        Area and power add up over the component instances; latency follows
-        the critical path through the multiplier stage and the four-level
-        accumulation tree.
-        """
-        multipliers = [self.multipliers[i] for i in config.multiplier_indices]
-        adders = [self.adders[i] for i in config.adder_indices]
-
-        area = sum(c.fpga.area_luts for c in multipliers) + sum(c.fpga.area_luts for c in adders)
-        power = sum(c.fpga.total_power_mw for c in multipliers) + sum(
-            c.fpga.total_power_mw for c in adders
-        )
-
-        def adder_latency(slot: int) -> float:
-            return adders[slot].fpga.latency_ns
-
-        product_latency = [c.fpga.latency_ns for c in multipliers]
-        level_one = [
-            max(product_latency[2 * i], product_latency[2 * i + 1]) + adder_latency(i)
-            for i in range(4)
-        ]
-        level_two = [
-            max(level_one[0], level_one[1]) + adder_latency(4),
-            max(level_one[2], level_one[3]) + adder_latency(5),
-        ]
-        level_three = max(level_two) + adder_latency(6)
-        latency = max(level_three, product_latency[8]) + adder_latency(7)
-
-        return {"area": float(area), "power": float(power), "latency": float(latency)}
-
-    def quality(self, images: Sequence[np.ndarray], config: Configuration) -> float:
-        """Mean SSIM of the configured filter against the exact filter."""
-        return self.quality_prepared(self.prepare_images(images), config)
-
-    # ------------------------------------------------------------------ #
-    # Batched evaluation: shared per-image work across many configurations
-    # ------------------------------------------------------------------ #
-    def prepare_images(
-        self, images: Sequence[np.ndarray]
-    ) -> List[Tuple[List[np.ndarray], np.ndarray]]:
-        """Precompute the per-image work every configuration shares.
-
-        Returns ``(shifted planes, exact reference output)`` per image.  The
-        planes and the golden reference do not depend on the configuration,
-        so evaluating a whole population against one prepared image set pays
-        for them once instead of once per configuration; results are
-        bit-identical to the unprepared path (:meth:`quality` itself runs
-        through it).
-        """
-        prepared = []
-        for image in images:
-            image = np.asarray(image)
-            if image.ndim != 2:
-                raise ValueError("expected a 2-D grayscale image")
-            planes = self._shifted_planes(image)
-            prepared.append((planes, self._exact_from_planes(planes)))
-        return prepared
-
-    def quality_prepared(
-        self, prepared: Sequence[Tuple[List[np.ndarray], np.ndarray]], config: Configuration
-    ) -> float:
-        """Mean SSIM of one configuration against a prepared image set."""
-        from .quality import ssim
-
-        scores = []
-        for planes, reference in prepared:
-            approximate = self._apply_planes(planes, config)
-            scores.append(ssim(reference, approximate))
-        return float(np.mean(scores))
-
-    def evaluate_prepared(
-        self, prepared: Sequence[Tuple[List[np.ndarray], np.ndarray]], config: Configuration
-    ) -> Tuple[float, Dict[str, float]]:
-        """(quality, hw cost) of one configuration against prepared images."""
-        return self.quality_prepared(prepared, config), self.hw_cost(config)

@@ -16,11 +16,11 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..ml import Regressor, RandomForestRegressor, RidgeRegression, ScaledRegressor
-from .accelerator import Configuration, GaussianFilterAccelerator
+from ..workloads import ApproxAccelerator, SlotConfiguration
 
 
 def configuration_features(
-    accelerator: GaussianFilterAccelerator, config: Configuration
+    accelerator: ApproxAccelerator, config: SlotConfiguration
 ) -> np.ndarray:
     """Numeric feature vector of a configuration.
 
@@ -72,7 +72,7 @@ def _component_feature_table(components) -> np.ndarray:
 
 
 def configuration_feature_matrix(
-    accelerator: GaussianFilterAccelerator, configs: Sequence[Configuration]
+    accelerator: ApproxAccelerator, configs: Sequence[SlotConfiguration]
 ) -> np.ndarray:
     """Stacked feature matrix of a whole population of configurations.
 
@@ -104,14 +104,14 @@ def configuration_feature_matrix(
 class TrainingSample:
     """One exactly-evaluated configuration."""
 
-    config: Configuration
+    config: SlotConfiguration
     features: np.ndarray
     quality: float
     cost: Dict[str, float]
 
 
 def collect_training_samples(
-    accelerator: GaussianFilterAccelerator,
+    accelerator: ApproxAccelerator,
     images: Sequence[np.ndarray],
     num_samples: int,
     seed: int = 17,
@@ -177,14 +177,14 @@ class QorEstimator:
         self.cache_token = _fresh_cache_token("qor")
         return self
 
-    def estimate(self, accelerator: GaussianFilterAccelerator, config: Configuration) -> float:
+    def estimate(self, accelerator: ApproxAccelerator, config: SlotConfiguration) -> float:
         features = configuration_features(accelerator, config).reshape(1, -1)
         return float(self.model.predict(features)[0])
 
     def estimate_batch(
         self,
-        accelerator: GaussianFilterAccelerator,
-        configs: Sequence[Configuration],
+        accelerator: ApproxAccelerator,
+        configs: Sequence[SlotConfiguration],
         features: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """SSIM estimates for a whole population in one ``predict`` call.
@@ -214,14 +214,14 @@ class HwCostEstimator:
         self.cache_token = _fresh_cache_token(f"hw-{self.parameter}")
         return self
 
-    def estimate(self, accelerator: GaussianFilterAccelerator, config: Configuration) -> float:
+    def estimate(self, accelerator: ApproxAccelerator, config: SlotConfiguration) -> float:
         features = configuration_features(accelerator, config).reshape(1, -1)
         return float(self.model.predict(features)[0])
 
     def estimate_batch(
         self,
-        accelerator: GaussianFilterAccelerator,
-        configs: Sequence[Configuration],
+        accelerator: ApproxAccelerator,
+        configs: Sequence[SlotConfiguration],
         features: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Cost estimates for a whole population in one ``predict`` call.

@@ -22,8 +22,8 @@ import numpy as np
 from ..core.pareto import hypervolume_2d
 from ..engine import EvalCache
 from ..search import ParetoArchive
-from .accelerator import ApproxComponent, GaussianFilterAccelerator
-from .images import default_image_set
+from ..workloads import WORKLOADS, build_workload
+from .accelerator import ApproxComponent
 from .search import SEARCH_STRATEGIES, EvaluatedConfiguration
 
 
@@ -43,6 +43,11 @@ class AutoAxConfig:
     ``"hill_climb"``, ``"random_archive"`` and the population-based
     ``"nsga2"``, which scores whole generations through the estimators in
     one batched call)."""
+    workload: str = "gaussian"
+    """Key into :data:`repro.workloads.WORKLOADS` selecting which
+    accelerator case study the flow optimises (built-ins: ``"gaussian"``,
+    ``"sobel"``, ``"sharpen"``).  The workload defines the datapath, the
+    slot shape, the quality metric and the default seeded input set."""
 
     def __post_init__(self) -> None:
         if self.num_training_samples < 2:
@@ -53,6 +58,10 @@ class AutoAxConfig:
             raise ValueError(
                 f"unknown search strategy {self.search_strategy!r}; "
                 f"available: {SEARCH_STRATEGIES.keys()}"
+            )
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; available: {WORKLOADS.keys()}"
             )
 
 
@@ -127,8 +136,12 @@ class AutoAxFpgaFlow:
         cache: Optional[EvalCache] = None,
     ):
         self.config = config or AutoAxConfig()
-        self.accelerator = GaussianFilterAccelerator(multipliers, adders)
-        self.images = list(images) if images is not None else default_image_set(self.config.image_size)
+        self.accelerator = build_workload(self.config.workload, multipliers, adders)
+        self.images = (
+            list(images)
+            if images is not None
+            else self.accelerator.default_inputs(self.config.image_size)
+        )
         # One cache for the whole case study: exact evaluations are shared
         # between the per-parameter re-evaluation passes and the random
         # baseline, estimated ones between hill-climbing iterations.

@@ -1,76 +1,27 @@
-"""Synthetic image workload for the Gaussian-filter case study.
+"""Back-compat re-exports of the synthetic image generators.
 
-The paper evaluates the Gaussian-filter accelerator on an image-processing
-workload; since no image set ships with this reproduction, a deterministic
-set of synthetic 8-bit grayscale images with varied spatial statistics
-(smooth gradients, edges, texture, blobs and noise) stands in for it.  The
-images exercise the same code path: every pixel flows through the assigned
-approximate multipliers and adders.
+The generators moved to :mod:`repro.workloads.inputs`, where they are
+seeded and size-parameterised per workload; at their defaults (``seed=0``)
+they are bit-identical to the historical Gaussian-filter image set, so
+``default_image_set(size)`` keeps returning exactly what it always did.
 """
 
 from __future__ import annotations
 
-from typing import List
+from ..workloads.inputs import (  # noqa: F401
+    blob_image,
+    checkerboard_image,
+    default_image_set,
+    gradient_image,
+    noise_image,
+    texture_image,
+)
 
-import numpy as np
-
-
-def gradient_image(size: int) -> np.ndarray:
-    """Smooth diagonal gradient."""
-    row = np.linspace(0, 255, size)
-    image = (row[:, None] + row[None, :]) / 2.0
-    return image.astype(np.uint8)
-
-
-def checkerboard_image(size: int, tile: int = 6) -> np.ndarray:
-    """High-frequency checkerboard (edge-heavy content)."""
-    indices = np.arange(size)
-    pattern = ((indices[:, None] // tile) + (indices[None, :] // tile)) % 2
-    return (pattern * 255).astype(np.uint8)
-
-
-def blob_image(size: int, seed: int = 3) -> np.ndarray:
-    """Sum of a few Gaussian blobs (smooth, non-monotone content)."""
-    rng = np.random.default_rng(seed)
-    ys, xs = np.mgrid[0:size, 0:size]
-    image = np.zeros((size, size), dtype=np.float64)
-    for _ in range(5):
-        cx, cy = rng.uniform(0, size, size=2)
-        sigma = rng.uniform(size / 10, size / 4)
-        amplitude = rng.uniform(80, 255)
-        image += amplitude * np.exp(-((xs - cx) ** 2 + (ys - cy) ** 2) / (2 * sigma ** 2))
-    image = 255.0 * image / image.max()
-    return image.astype(np.uint8)
-
-
-def texture_image(size: int, seed: int = 7) -> np.ndarray:
-    """Band-limited noise texture."""
-    rng = np.random.default_rng(seed)
-    noise = rng.normal(0.0, 1.0, size=(size, size))
-    # Cheap low-pass: repeated box blur via cumulative sums.
-    kernel = np.ones((5, 5)) / 25.0
-    padded = np.pad(noise, 2, mode="reflect")
-    smoothed = np.zeros_like(noise)
-    for dy in range(5):
-        for dx in range(5):
-            smoothed += kernel[dy, dx] * padded[dy:dy + size, dx:dx + size]
-    smoothed -= smoothed.min()
-    smoothed /= max(smoothed.max(), 1e-9)
-    return (smoothed * 255).astype(np.uint8)
-
-
-def noise_image(size: int, seed: int = 11) -> np.ndarray:
-    """Uniform random noise (worst case for error attenuation)."""
-    rng = np.random.default_rng(seed)
-    return rng.integers(0, 256, size=(size, size), dtype=np.uint8)
-
-
-def default_image_set(size: int = 48) -> List[np.ndarray]:
-    """The five-image workload used by the AutoAx-FPGA benchmarks."""
-    return [
-        gradient_image(size),
-        checkerboard_image(size),
-        blob_image(size),
-        texture_image(size),
-        noise_image(size),
-    ]
+__all__ = [
+    "blob_image",
+    "checkerboard_image",
+    "default_image_set",
+    "gradient_image",
+    "noise_image",
+    "texture_image",
+]

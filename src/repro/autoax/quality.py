@@ -1,61 +1,27 @@
-"""Quality-of-result metrics for the accelerator case study: SSIM and PSNR."""
+"""Back-compat re-exports of the quality metrics.
+
+The metrics moved to their canonical home :mod:`repro.workloads.quality`
+(with hardening: explicit ``inf`` PSNR on identical images, SSIM window
+validation, the :data:`~repro.workloads.quality.QUALITY_METRICS`
+registry); importing them from here keeps working.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+from ..workloads.quality import (  # noqa: F401
+    QUALITY_METRICS,
+    gradient_similarity,
+    mean_ssim,
+    psnr,
+    psnr_score,
+    ssim,
+)
 
-import numpy as np
-from scipy.ndimage import uniform_filter
-
-
-def ssim(reference: np.ndarray, test: np.ndarray, window: int = 7, data_range: float = 255.0) -> float:
-    """Structural similarity index between two grayscale images.
-
-    Standard SSIM (Wang et al.) with a uniform local window, matching what
-    the paper uses to judge the Gaussian filter's output quality.
-    """
-    reference = np.asarray(reference, dtype=np.float64)
-    test = np.asarray(test, dtype=np.float64)
-    if reference.shape != test.shape:
-        raise ValueError("images must have the same shape")
-    if reference.ndim != 2:
-        raise ValueError("ssim expects 2-D grayscale images")
-
-    c1 = (0.01 * data_range) ** 2
-    c2 = (0.03 * data_range) ** 2
-
-    mu_x = uniform_filter(reference, size=window)
-    mu_y = uniform_filter(test, size=window)
-    mu_x_sq = mu_x ** 2
-    mu_y_sq = mu_y ** 2
-    mu_xy = mu_x * mu_y
-
-    sigma_x = uniform_filter(reference ** 2, size=window) - mu_x_sq
-    sigma_y = uniform_filter(test ** 2, size=window) - mu_y_sq
-    sigma_xy = uniform_filter(reference * test, size=window) - mu_xy
-
-    numerator = (2 * mu_xy + c1) * (2 * sigma_xy + c2)
-    denominator = (mu_x_sq + mu_y_sq + c1) * (sigma_x + sigma_y + c2)
-    ssim_map = numerator / denominator
-    return float(ssim_map.mean())
-
-
-def psnr(reference: np.ndarray, test: np.ndarray, data_range: float = 255.0) -> float:
-    """Peak signal-to-noise ratio in dB (infinite for identical images)."""
-    reference = np.asarray(reference, dtype=np.float64)
-    test = np.asarray(test, dtype=np.float64)
-    if reference.shape != test.shape:
-        raise ValueError("images must have the same shape")
-    mse = float(np.mean((reference - test) ** 2))
-    if mse == 0.0:
-        return float("inf")
-    return 10.0 * np.log10(data_range ** 2 / mse)
-
-
-def mean_ssim(references: Sequence[np.ndarray], tests: Sequence[np.ndarray]) -> float:
-    """Average SSIM over a workload of image pairs."""
-    if len(references) != len(tests):
-        raise ValueError("reference and test image lists must have the same length")
-    if not references:
-        raise ValueError("cannot average SSIM over an empty workload")
-    return float(np.mean([ssim(ref, test) for ref, test in zip(references, tests)]))
+__all__ = [
+    "QUALITY_METRICS",
+    "gradient_similarity",
+    "mean_ssim",
+    "psnr",
+    "psnr_score",
+    "ssim",
+]

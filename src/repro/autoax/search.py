@@ -46,7 +46,7 @@ from ..engine import (
 )
 from ..registry import Registry
 from ..search import Nsga2Config, ParetoArchive, run_nsga2
-from .accelerator import Configuration, GaussianFilterAccelerator
+from ..workloads import ApproxAccelerator, SlotConfiguration
 from .estimators import HwCostEstimator, QorEstimator
 
 #: Registry of configuration-space search strategies.  Each entry is a
@@ -66,7 +66,7 @@ SEARCH_STRATEGIES = Registry("search strategy")
 class EvaluatedConfiguration:
     """A configuration with its (exact or estimated) quality and cost."""
 
-    config: Configuration
+    config: SlotConfiguration
     quality: float
     cost: Dict[str, float]
 
@@ -85,7 +85,7 @@ def _non_dominated(
     return pruned.items()
 
 
-def _exact_context(accelerator: GaussianFilterAccelerator, images: Sequence[np.ndarray]) -> str:
+def _exact_context(accelerator: ApproxAccelerator, images: Sequence[np.ndarray]) -> str:
     return accelerator_context(accelerator, images)
 
 
@@ -93,7 +93,7 @@ def _through_cache(
     cache: Optional[EvalCache],
     domain: str,
     context: str,
-    config: Configuration,
+    config: SlotConfiguration,
     compute,
 ) -> EvaluatedConfiguration:
     """Evaluate one configuration via the cache when one is available.
@@ -120,9 +120,9 @@ def _through_cache(
 
 
 def _cached_exact_evaluation(
-    accelerator: GaussianFilterAccelerator,
+    accelerator: ApproxAccelerator,
     images: Sequence[np.ndarray],
-    config: Configuration,
+    config: SlotConfiguration,
     cache: Optional[EvalCache],
     context: str,
 ) -> EvaluatedConfiguration:
@@ -137,9 +137,9 @@ def _cached_exact_evaluation(
 
 
 def _batched_exact_evaluation(
-    accelerator: GaussianFilterAccelerator,
+    accelerator: ApproxAccelerator,
     images: Sequence[np.ndarray],
-    configs: Sequence[Configuration],
+    configs: Sequence[SlotConfiguration],
     engine: "BatchEvaluator",  # noqa: F821
 ) -> List[EvaluatedConfiguration]:
     """Exactly evaluate configurations as one engine batch (same cache keys)."""
@@ -155,7 +155,7 @@ def _batched_exact_evaluation(
 
 
 def random_search(
-    accelerator: GaussianFilterAccelerator,
+    accelerator: ApproxAccelerator,
     images: Sequence[np.ndarray],
     num_samples: int,
     seed: int = 23,
@@ -181,7 +181,7 @@ def random_search(
 
 
 def _estimator_context(
-    accelerator: GaussianFilterAccelerator,
+    accelerator: ApproxAccelerator,
     qor_estimator: QorEstimator,
     hw_estimator: HwCostEstimator,
 ) -> str:
@@ -221,7 +221,7 @@ class SearchEvalStats:
 
 
 def _estimated_evaluator(
-    accelerator: GaussianFilterAccelerator,
+    accelerator: ApproxAccelerator,
     qor_estimator: QorEstimator,
     hw_estimator: HwCostEstimator,
     cache: Optional[EvalCache],
@@ -241,13 +241,13 @@ def _estimated_evaluator(
     memo: Dict[str, EvaluatedConfiguration] = {}
     stats = SearchEvalStats()
 
-    def estimate(config: Configuration):
+    def estimate(config: SlotConfiguration):
         quality = float(np.clip(qor_estimator.estimate(accelerator, config), 0.0, 1.0))
         cost = dict(accelerator.hw_cost(config))
         cost[parameter] = hw_estimator.estimate(accelerator, config)
         return quality, cost
 
-    def evaluate(config: Configuration) -> EvaluatedConfiguration:
+    def evaluate(config: SlotConfiguration) -> EvaluatedConfiguration:
         stats.evaluations += 1
         token = configuration_token(config.multiplier_indices, config.adder_indices)
         hit = memo.get(token)
@@ -269,7 +269,7 @@ def _spread_limited(archive: ParetoArchive, limit: int) -> None:
 
 @SEARCH_STRATEGIES.register("hill_climb")
 def hill_climb_pareto(
-    accelerator: GaussianFilterAccelerator,
+    accelerator: ApproxAccelerator,
     qor_estimator: QorEstimator,
     hw_estimator: HwCostEstimator,
     iterations: int = 400,
@@ -312,7 +312,7 @@ def hill_climb_pareto(
 
 @SEARCH_STRATEGIES.register("random_archive")
 def random_archive(
-    accelerator: GaussianFilterAccelerator,
+    accelerator: ApproxAccelerator,
     qor_estimator: QorEstimator,
     hw_estimator: HwCostEstimator,
     iterations: int = 400,
@@ -343,7 +343,7 @@ def random_archive(
 
 @SEARCH_STRATEGIES.register("nsga2")
 def nsga2_pareto(
-    accelerator: GaussianFilterAccelerator,
+    accelerator: ApproxAccelerator,
     qor_estimator: QorEstimator,
     hw_estimator: HwCostEstimator,
     iterations: int = 400,
@@ -388,10 +388,8 @@ def nsga2_pareto(
     fitted estimator instances*: the checkpoint token covers accelerator
     and search knobs, not the estimators' fitted state).
     """
-    from .accelerator import NUM_MULTIPLIER_SLOTS
-
     parameter = hw_estimator.parameter
-    slots_m = NUM_MULTIPLIER_SLOTS
+    slots_m = accelerator.num_multiplier_slots
 
     population = min(population_size, max(4, iterations // 4))
     generations = max(0, iterations // population - 1)
@@ -404,8 +402,8 @@ def nsga2_pareto(
         seed=seed,
     )
 
-    def to_config(genome) -> Configuration:
-        return Configuration(tuple(genome[:slots_m]), tuple(genome[slots_m:]))
+    def to_config(genome) -> SlotConfiguration:
+        return SlotConfiguration(tuple(genome[:slots_m]), tuple(genome[slots_m:]))
 
     def random_genome(rng: np.random.Generator):
         drawn = accelerator.random_configuration(rng)
@@ -480,7 +478,7 @@ def nsga2_pareto(
 
 
 def exact_reevaluation(
-    accelerator: GaussianFilterAccelerator,
+    accelerator: ApproxAccelerator,
     images: Sequence[np.ndarray],
     candidates: Sequence[EvaluatedConfiguration],
     cache: Optional[EvalCache] = None,

@@ -23,7 +23,8 @@ import numpy as np
 from ..api.pipeline import Pipeline, PipelineRun, Stage
 from ..engine import BatchEvaluator, EvalCache, blake_token, images_token
 from ..search import ParetoArchive
-from .accelerator import ApproxComponent, Configuration, GaussianFilterAccelerator
+from ..workloads import ApproxAccelerator, build_workload
+from .accelerator import ApproxComponent
 from .estimators import (
     HwCostEstimator,
     QorEstimator,
@@ -31,7 +32,6 @@ from .estimators import (
     collect_training_samples,
     configuration_features,
 )
-from .images import default_image_set
 from .search import (
     SEARCH_STRATEGIES,
     EvaluatedConfiguration,
@@ -45,6 +45,7 @@ __all__ = [
     "autoax_stages",
     "autoax_run_token",
     "build_autoax_result",
+    "default_autoax_run_id",
     "run_autoax_pipeline",
     "CollectSamplesStage",
     "FitEstimatorsStage",
@@ -65,11 +66,11 @@ def _evaluated_to_payload(entry: EvaluatedConfiguration) -> dict:
     }
 
 
-def _evaluated_from_payload(payload: dict) -> EvaluatedConfiguration:
+def _evaluated_from_payload(payload: dict, accelerator: ApproxAccelerator) -> EvaluatedConfiguration:
     return EvaluatedConfiguration(
-        config=Configuration(
-            tuple(int(i) for i in payload["multipliers"]),
-            tuple(int(i) for i in payload["adders"]),
+        config=accelerator.make_configuration(
+            [int(i) for i in payload["multipliers"]],
+            [int(i) for i in payload["adders"]],
         ),
         quality=float(payload["quality"]),
         cost={name: float(value) for name, value in payload["cost"].items()},
@@ -83,7 +84,7 @@ def _evaluated_from_payload(payload: dict) -> EvaluatedConfiguration:
 class AutoAxState:
     """Mutable working state threaded through the AutoAx-FPGA stages."""
 
-    accelerator: GaussianFilterAccelerator
+    accelerator: ApproxAccelerator
     images: List[np.ndarray]
     config: "AutoAxConfig"  # noqa: F821 - imported lazily to avoid a cycle
     cache: EvalCache
@@ -110,18 +111,27 @@ class AutoAxState:
         cache: Optional[EvalCache] = None,
         engine: Optional[BatchEvaluator] = None,
     ) -> "AutoAxState":
-        """Build a state with the same component defaults as the legacy flow."""
+        """Build a state with the same component defaults as the legacy flow.
+
+        The accelerator is resolved from :data:`repro.workloads.WORKLOADS`
+        via ``config.workload`` (``"gaussian"`` by default), and the default
+        image set is the workload's own seeded input set.
+        """
         from .flow import AutoAxConfig
 
         config = config or AutoAxConfig()
-        accelerator = GaussianFilterAccelerator(multipliers, adders)
+        accelerator = build_workload(config.workload, multipliers, adders)
         if engine is not None and cache is not None and engine.cache is not cache:
             raise ValueError("engine and cache must share one EvalCache; pass one or the other")
         if engine is not None and cache is None:
             cache = engine.cache
         return cls(
             accelerator=accelerator,
-            images=list(images) if images is not None else default_image_set(config.image_size),
+            images=(
+                list(images)
+                if images is not None
+                else accelerator.default_inputs(config.image_size)
+            ),
             config=config,
             cache=cache if cache is not None else EvalCache(),
             engine=engine,
@@ -153,7 +163,7 @@ class CollectSamplesStage(Stage):
         # so they are recomputed instead of serialised.
         samples: List[TrainingSample] = []
         for raw in payload:
-            entry = _evaluated_from_payload(raw)
+            entry = _evaluated_from_payload(raw, state.accelerator)
             samples.append(
                 TrainingSample(
                     config=entry.config,
@@ -217,7 +227,9 @@ class ScenarioStage(Stage):
     def absorb(self, state: AutoAxState, payload: dict) -> None:
         from .flow import ScenarioResult
 
-        evaluated = [_evaluated_from_payload(entry) for entry in payload["candidates"]]
+        evaluated = [
+            _evaluated_from_payload(entry, state.accelerator) for entry in payload["candidates"]
+        ]
         front = ParetoArchive(num_objectives=2, dedupe_keys=False)
         for entry in evaluated:
             front.insert(None, entry.objectives(self.parameter), item=entry)
@@ -246,7 +258,9 @@ class RandomBaselineStage(Stage):
         return [_evaluated_to_payload(entry) for entry in baseline]
 
     def absorb(self, state: AutoAxState, payload: list) -> None:
-        state.baseline = [_evaluated_from_payload(entry) for entry in payload]
+        state.baseline = [
+            _evaluated_from_payload(entry, state.accelerator) for entry in payload
+        ]
 
 
 # --------------------------------------------------------------------- #
@@ -262,13 +276,32 @@ def autoax_stages(config) -> List[Stage]:
 
 
 def autoax_run_token(state: AutoAxState) -> str:
-    """Digest of everything a checkpointed case-study run depends on."""
+    """Digest of everything a checkpointed case-study run depends on.
+
+    ``accelerator_token`` covers the component sets *and* the workload's
+    structural identity, so checkpoints of one workload can never be
+    restored into a study of another.
+    """
     return blake_token(
         "autoax",
         accelerator_token(state.accelerator),
         images_token(state.images),
         repr(state.config),
     )
+
+
+def default_autoax_run_id(workload: str) -> str:
+    """Default artifact-store run id of one workload's case study.
+
+    The Gaussian case study keeps its historical id (``session.runs`` keys
+    and artifact directories keep their pre-workload names); every other
+    workload gets its own namespaced id.  Note that checkpoints written
+    before the workload subsystem existed recompute regardless of the id:
+    the run manifest token now covers the workload identity (via
+    :func:`repro.engine.keys.accelerator_token`), which invalidates
+    pre-1.5 checkpoints by design.
+    """
+    return "autoax-gaussian-filter" if workload == "gaussian" else f"autoax-{workload}"
 
 
 def build_autoax_result(state: AutoAxState, runtime_s: float) -> "AutoAxResult":  # noqa: F821
@@ -310,7 +343,7 @@ def run_autoax_pipeline(
     pipeline = Pipeline(
         autoax_stages(state.config),
         store=store,
-        run_id=run_id or "autoax-gaussian-filter",
+        run_id=run_id or default_autoax_run_id(state.config.workload),
         token=autoax_run_token(state),
         progress=progress,
     )

@@ -130,17 +130,30 @@ def _worker_fpga(task: Tuple[str, FpgaSynthesizer, List[Netlist]]) -> List[dict]
     return [_fpga_report_to_payload(cached.synthesize(circuit)) for circuit in circuits]
 
 
+def _prepare_accelerator_inputs(accelerator, inputs):
+    """Prepared per-input planes/references via the workload protocol.
+
+    Prefers the :class:`repro.workloads.ApproxAccelerator` method name
+    (``prepare_inputs``) and falls back to the legacy ``prepare_images``
+    spelling for foreign duck-typed accelerators.
+    """
+    prepare = getattr(accelerator, "prepare_inputs", None)
+    if prepare is None:
+        prepare = accelerator.prepare_images
+    return prepare(inputs)
+
+
 def _worker_configurations(task) -> List[dict]:
     """Exactly evaluate accelerator configurations against prepared images.
 
-    The accelerator is duck-typed (``prepare_images``/``evaluate_prepared``);
+    The accelerator is duck-typed (``prepare_inputs``/``evaluate_prepared``);
     the prepared per-image planes and golden references are memoised per
     context so a chunked map pays the image preparation once per process.
     """
     context, accelerator, images, configurations = task
     prepared = _WORKER_STATE.get(context)
     if prepared is None:
-        prepared = accelerator.prepare_images(images)
+        prepared = _prepare_accelerator_inputs(accelerator, images)
         _WORKER_STATE[context] = prepared
     payloads = []
     for configuration in configurations:
@@ -498,12 +511,14 @@ class BatchEvaluator:
         whole batch, repeated configurations within one call are computed
         once, and large miss sets fan out over the process pool.  Results
         are cached under the same ``axq`` keys the serial path uses
-        (:func:`repro.engine.keys.accelerator_context`), so hits flow in
-        both directions and values are bit-identical by construction.
+        (:func:`repro.engine.keys.accelerator_context`, which namespaces by
+        workload identity), so hits flow in both directions and values are
+        bit-identical by construction.
 
         The accelerator only needs ``multipliers``/``adders`` component
-        lists plus ``prepare_images``/``evaluate_prepared`` -- the engine
-        stays decoupled from :mod:`repro.autoax`.
+        lists plus ``prepare_inputs`` (or the legacy ``prepare_images``
+        spelling) and ``evaluate_prepared`` -- the engine stays decoupled
+        from the concrete workload classes in :mod:`repro.workloads`.
         """
         configurations = list(configurations)
         images = list(images)
@@ -540,7 +555,7 @@ class BatchEvaluator:
         def compute_serial() -> List[dict]:
             prepared = self._prepared_images.get(context)
             if prepared is None:
-                prepared = accelerator.prepare_images(images)
+                prepared = _prepare_accelerator_inputs(accelerator, images)
                 # Keep the memo tiny: prepared planes are per-image arrays
                 # and sessions rarely juggle more than a few image sets.
                 if len(self._prepared_images) >= 4:

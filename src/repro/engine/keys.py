@@ -65,19 +65,33 @@ def configuration_token(multiplier_indices: Sequence[int], adder_indices: Sequen
 
 
 def accelerator_token(accelerator) -> str:
-    """Digest of the component sets an accelerator is built from.
+    """Digest of an accelerator's component sets and workload identity.
 
     Duck-typed over anything exposing ``multipliers``/``adders`` sequences of
     components with a ``netlist.fingerprint()``; shared by
     :mod:`repro.autoax.search` and the engine's batched configuration
     evaluation so their ``axq`` cache keys can never drift apart.
+
+    When the accelerator exposes a ``workload_token`` (every
+    :class:`repro.workloads.ApproxAccelerator` does), it is mixed in: two
+    workloads built from the *same* component libraries compute different
+    qualities for the same slot assignment, so their cache entries must
+    never alias.  Foreign duck-typed accelerators without the attribute
+    keep the historical component-only token.
     """
-    return blake_token(
+    parts = [
         [component.netlist.fingerprint() for component in accelerator.multipliers],
         [component.netlist.fingerprint() for component in accelerator.adders],
-    )
+    ]
+    workload = getattr(accelerator, "workload_token", None)
+    if workload is not None:
+        parts.append(workload() if callable(workload) else workload)
+    return blake_token(*parts)
 
 
 def accelerator_context(accelerator, images) -> str:
-    """Cache context of exact accelerator evaluations on one image set."""
+    """Cache context of exact accelerator evaluations on one input set.
+
+    Inherits the workload namespacing of :func:`accelerator_token`, so
+    ``axq`` entries are scoped to (workload, components, inputs)."""
     return blake_token(accelerator_token(accelerator), images_token(images))

@@ -1,0 +1,110 @@
+"""Pluggable accelerator workloads (the generic half of the case studies).
+
+This package holds everything an approximate-accelerator case study needs
+that is *not* specific to one accelerator: the
+:class:`~repro.workloads.base.ApproxAccelerator` protocol and its
+:data:`WORKLOADS` registry, the shared component machinery
+(:class:`ApproxComponent`, :func:`components_from_library`), the
+:data:`QUALITY_METRICS` registry with the built-in metrics
+(SSIM / bounded PSNR / gradient-magnitude similarity) and the seeded
+synthetic input sets.
+
+Built-in workloads (registered on import):
+
+* ``"gaussian"`` -- :class:`GaussianFilterAccelerator`, the paper's 3x3
+  Gaussian-filter AutoAx-FPGA case study (9 multipliers, 8 adders, SSIM);
+* ``"sobel"`` -- :class:`SobelAccelerator`, 3x3 Sobel edge detection
+  (12 multipliers, 8 adders, gradient-magnitude similarity);
+* ``"sharpen"`` -- :class:`SharpenAccelerator`, a signed 3x3 sharpening
+  kernel (5 multipliers, 3 adders, bounded PSNR).
+
+Registering a custom workload::
+
+    from repro.workloads import ConvolutionAccelerator, WORKLOADS
+
+    @WORKLOADS.register("box")
+    class BoxFilterAccelerator(ConvolutionAccelerator):
+        workload_name = "box"
+        kernel = ((28, 28, 28), (28, 32, 28), (28, 28, 28))
+        shift = 8
+        quality_metric = "ssim"
+        input_seed = 900
+
+    result = session.run_autoax(multipliers, adders,
+                                AutoAxConfig(workload="box"))
+"""
+
+from .base import (
+    ApproxAccelerator,
+    ComponentSlot,
+    SlotConfiguration,
+    WORKLOADS,
+    build_workload,
+    reduce_balanced,
+)
+from .components import ApproxComponent, build_component, components_from_library
+from .convolution import (
+    GAUSSIAN_KERNEL_3X3,
+    KERNEL_SHIFT,
+    NUM_ADDER_SLOTS,
+    NUM_MULTIPLIER_SLOTS,
+    SHARPEN_KERNEL_3X3,
+    SHARPEN_SHIFT,
+    ConvolutionAccelerator,
+    GaussianFilterAccelerator,
+    SharpenAccelerator,
+)
+from .inputs import (
+    blob_image,
+    checkerboard_image,
+    default_image_set,
+    gradient_image,
+    noise_image,
+    texture_image,
+)
+from .quality import (
+    QUALITY_METRICS,
+    gradient_similarity,
+    mean_ssim,
+    psnr,
+    psnr_score,
+    ssim,
+)
+from .sobel import SOBEL_GX_KERNEL, SOBEL_GY_KERNEL, SOBEL_SHIFT, SobelAccelerator
+
+__all__ = [
+    "ApproxAccelerator",
+    "ComponentSlot",
+    "SlotConfiguration",
+    "WORKLOADS",
+    "build_workload",
+    "reduce_balanced",
+    "ApproxComponent",
+    "build_component",
+    "components_from_library",
+    "ConvolutionAccelerator",
+    "GaussianFilterAccelerator",
+    "SharpenAccelerator",
+    "SobelAccelerator",
+    "GAUSSIAN_KERNEL_3X3",
+    "KERNEL_SHIFT",
+    "NUM_MULTIPLIER_SLOTS",
+    "NUM_ADDER_SLOTS",
+    "SHARPEN_KERNEL_3X3",
+    "SHARPEN_SHIFT",
+    "SOBEL_GX_KERNEL",
+    "SOBEL_GY_KERNEL",
+    "SOBEL_SHIFT",
+    "QUALITY_METRICS",
+    "gradient_similarity",
+    "mean_ssim",
+    "psnr",
+    "psnr_score",
+    "ssim",
+    "blob_image",
+    "checkerboard_image",
+    "default_image_set",
+    "gradient_image",
+    "noise_image",
+    "texture_image",
+]
