@@ -1,36 +1,49 @@
-"""Simulation throughput: boolean backend vs packed bit-plane backend.
+"""Simulation throughput: bool vs bit-plane vs compiled backends.
 
 The workload is the paper's Monte-Carlo error-evaluation inner loop: one
 vectorised simulation pass of an exact multiplier over a seeded operand
-sample, at 8/12/16-bit operand widths.  Two timings are recorded per width:
+sample, at 8/12/16-bit operand widths.  Two timings are recorded per width
+and backend:
 
-* **kernel** -- ``simulate_bits`` vs ``simulate_bits_packed`` on the shared
-  input-bit matrix.  This is the per-circuit marginal cost inside
-  :class:`~repro.engine.evaluator.BatchEvaluator`, which expands the operand
-  matrix once per word layout and reuses it for every circuit.
+* **kernel** -- the per-circuit marginal cost inside
+  :class:`~repro.engine.evaluator.BatchEvaluator`, which expands the
+  operand matrix once per word layout, packs it once per layout, and keeps
+  the compiled-program cache warm across the loop.  That is
+  ``simulate_bits`` on the shared bit matrix for ``"bool"``, and the
+  plane-level passes (``simulate_planes`` / ``simulate_planes_compiled``)
+  on the shared packed planes for the packed backends.
 * **end-to-end** -- ``simulate_words`` (word expansion + simulation +
-  word collapse) under each backend key.
+  word collapse) under each backend key, nothing shared.
 
-Both backends must be bit-identical; the 16-bit kernel must show at least
-the 4x speedup the packed representation is for.  Set
-``REPRO_BENCH_QUICK=1`` to shrink the workload and drop the wall-clock
-floors (CI smoke / loaded machines).
+All backends must be bit-identical.  In full mode the 16-bit kernel floors
+are enforced: bitplane >= 4x over bool, compiled >= 3x over bitplane.  The
+measured table is also written to ``BENCH_simulation.json`` at the repo
+root (per-backend seconds, throughput and speedups) as the first artifact
+of the ROADMAP's perf-trajectory item.  Set ``REPRO_BENCH_QUICK=1`` to
+shrink the workload and drop the wall-clock floors (CI smoke / loaded
+machines).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.circuits import (
     bits_to_words,
+    compile_netlist,
+    pack_bits,
     random_operands,
     simulate_bits,
-    simulate_bits_packed,
+    simulate_planes,
+    simulate_planes_compiled,
     simulate_words,
+    unpack_bits,
 )
 from repro.circuits.simulate import expand_operand_bits
 from repro.generators import array_multiplier
@@ -39,10 +52,13 @@ QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 NUM_SAMPLES = 4096 if QUICK else 65536
 WIDTHS = (8,) if QUICK else (8, 12, 16)
 
-#: Enforced floors (width -> kernel speedup) in full mode; the measured
-#: margin is ~2x on an idle machine (the 16-bit kernel runs at ~8x).
-KERNEL_SPEEDUP_FLOORS = {16: 4.0}
+#: Enforced 16-bit kernel floors in full mode (measured margin ~2x each on
+#: an idle machine: bitplane ~11x over bool, compiled ~6x over bitplane).
+BITPLANE_VS_BOOL_FLOOR = 4.0
+COMPILED_VS_BITPLANE_FLOOR = 3.0
 END_TO_END_SPEEDUP_FLOOR = 1.8
+
+BENCH_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_simulation.json"
 
 
 def _best_of(callable_, repeats=2):
@@ -54,7 +70,7 @@ def _best_of(callable_, repeats=2):
     return best, result
 
 
-def test_simulation_throughput_bool_vs_bitplane(benchmark):
+def test_simulation_throughput_across_backends(benchmark):
     rng = np.random.default_rng(97)
     rows = []
 
@@ -63,58 +79,110 @@ def test_simulation_throughput_bool_vs_bitplane(benchmark):
             multiplier = array_multiplier(width)
             operands = random_operands(multiplier, NUM_SAMPLES, rng)
             input_bits = expand_operand_bits(multiplier, operands)
+            input_planes = pack_bits(input_bits.T)
+
+            compile_start = time.perf_counter()
+            compile_netlist(multiplier)  # warm the per-fingerprint cache
+            compile_s = time.perf_counter() - compile_start
 
             bool_kernel_s, bool_bits = _best_of(lambda: simulate_bits(multiplier, input_bits))
-            packed_kernel_s, packed_bits = _best_of(
-                lambda: simulate_bits_packed(multiplier, input_bits)
+            packed_kernel_s, packed_planes = _best_of(
+                lambda: simulate_planes(multiplier, input_planes)
             )
-            assert np.array_equal(bool_bits, packed_bits)
+            compiled_kernel_s, compiled_planes = _best_of(
+                lambda: simulate_planes_compiled(multiplier, input_planes)
+            )
+            assert np.array_equal(unpack_bits(packed_planes, NUM_SAMPLES).T, bool_bits)
+            assert np.array_equal(unpack_bits(compiled_planes, NUM_SAMPLES).T, bool_bits)
 
-            bool_words_s, bool_words = _best_of(
-                lambda: simulate_words(multiplier, operands, backend="bool")
-            )
-            packed_words_s, packed_words = _best_of(
-                lambda: simulate_words(multiplier, operands, backend="bitplane")
-            )
-            assert np.array_equal(bool_words, packed_words)
-            assert np.array_equal(bits_to_words(bool_bits), bool_words)
+            e2e_s, e2e_words = {}, {}
+            for backend in ("bool", "bitplane", "compiled"):
+                e2e_s[backend], e2e_words[backend] = _best_of(
+                    lambda backend=backend: simulate_words(
+                        multiplier, operands, backend=backend
+                    )
+                )
+            assert np.array_equal(e2e_words["bool"], e2e_words["bitplane"])
+            assert np.array_equal(e2e_words["bool"], e2e_words["compiled"])
+            assert np.array_equal(bits_to_words(bool_bits), e2e_words["bool"])
 
+            kernel_s = {
+                "bool": bool_kernel_s,
+                "bitplane": packed_kernel_s,
+                "compiled": compiled_kernel_s,
+            }
             rows.append(
                 {
                     "width": width,
                     "gates": multiplier.num_gates,
-                    "bool_kernel_s": bool_kernel_s,
-                    "packed_kernel_s": packed_kernel_s,
-                    "kernel_speedup": bool_kernel_s / max(packed_kernel_s, 1e-9),
-                    "bool_words_s": bool_words_s,
-                    "packed_words_s": packed_words_s,
-                    "words_speedup": bool_words_s / max(packed_words_s, 1e-9),
+                    "patterns": NUM_SAMPLES,
+                    "compile_s": compile_s,
+                    "backends": {
+                        backend: {
+                            "kernel_s": kernel_s[backend],
+                            "kernel_patterns_per_s": NUM_SAMPLES / max(kernel_s[backend], 1e-9),
+                            "kernel_speedup_vs_bool": bool_kernel_s / max(kernel_s[backend], 1e-9),
+                            "e2e_s": e2e_s[backend],
+                            "e2e_speedup_vs_bool": e2e_s["bool"] / max(e2e_s[backend], 1e-9),
+                        }
+                        for backend in kernel_s
+                    },
+                    "compiled_vs_bitplane_kernel_speedup": packed_kernel_s
+                    / max(compiled_kernel_s, 1e-9),
                 }
             )
         return rows
 
     benchmark.pedantic(run_workload, rounds=1, iterations=1)
 
-    print(f"\n=== Simulation throughput: bool vs bitplane ({NUM_SAMPLES} MC patterns) ===")
-    header = (
-        f"{'width':>6} {'gates':>6} {'bool kern':>10} {'packed kern':>12} "
-        f"{'speedup':>8} {'bool e2e':>10} {'packed e2e':>11} {'speedup':>8}"
+    print(f"\n=== Simulation throughput ({NUM_SAMPLES} MC patterns, kernel = per-circuit marginal) ===")
+    print(
+        f"{'width':>6} {'gates':>6} {'bool':>9} {'bitplane':>9} {'compiled':>9} "
+        f"{'bp/bool':>8} {'cc/bp':>7} {'compile':>8}"
     )
-    print(header)
     for row in rows:
+        backends = row["backends"]
         print(
             f"{row['width']:>5}b {row['gates']:>6} "
-            f"{row['bool_kernel_s'] * 1000:>8.1f}ms {row['packed_kernel_s'] * 1000:>10.1f}ms "
-            f"{row['kernel_speedup']:>7.1f}x "
-            f"{row['bool_words_s'] * 1000:>8.1f}ms {row['packed_words_s'] * 1000:>9.1f}ms "
-            f"{row['words_speedup']:>7.1f}x"
+            f"{backends['bool']['kernel_s'] * 1000:>7.1f}ms "
+            f"{backends['bitplane']['kernel_s'] * 1000:>7.2f}ms "
+            f"{backends['compiled']['kernel_s'] * 1000:>7.2f}ms "
+            f"{backends['bitplane']['kernel_speedup_vs_bool']:>7.1f}x "
+            f"{row['compiled_vs_bitplane_kernel_speedup']:>6.1f}x "
+            f"{row['compile_s'] * 1000:>6.1f}ms"
         )
+
+    BENCH_JSON_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "simulation_throughput",
+                "workload": "monte_carlo_array_multiplier",
+                "quick": QUICK,
+                "num_samples": NUM_SAMPLES,
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+                "rows": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {BENCH_JSON_PATH}")
 
     if not QUICK:
         by_width = {row["width"]: row for row in rows}
-        for width, floor in KERNEL_SPEEDUP_FLOORS.items():
-            assert by_width[width]["kernel_speedup"] >= floor, by_width[width]
-        assert by_width[16]["words_speedup"] >= END_TO_END_SPEEDUP_FLOOR, by_width[16]
+        row16 = by_width[16]
+        assert (
+            row16["backends"]["bitplane"]["kernel_speedup_vs_bool"] >= BITPLANE_VS_BOOL_FLOOR
+        ), row16
+        assert (
+            row16["compiled_vs_bitplane_kernel_speedup"] >= COMPILED_VS_BITPLANE_FLOOR
+        ), row16
+        assert (
+            row16["backends"]["bitplane"]["e2e_speedup_vs_bool"] >= END_TO_END_SPEEDUP_FLOOR
+        ), row16
+        assert (
+            row16["backends"]["compiled"]["e2e_speedup_vs_bool"] >= END_TO_END_SPEEDUP_FLOOR
+        ), row16
 
 
 def test_streaming_evaluation_memory_and_equivalence():

@@ -74,9 +74,14 @@ Simulation backends
 -------------------
 Behavioural simulation itself is pluggable through the
 :data:`repro.circuits.SIM_BACKENDS` registry: ``"bool"`` is the original
-one-byte-per-pattern implementation and ``"bitplane"``
+one-byte-per-pattern implementation, ``"bitplane"``
 (:mod:`repro.circuits.bitplane`) packs 64 patterns into each ``uint64``
-lane for a several-fold speedup on large pattern counts.  Backends are
+lane for a several-fold speedup on large pattern counts, and ``"compiled"``
+(:mod:`repro.circuits.compiled`) lowers each netlist once into a levelized
+op tape over packed bit planes -- cached per structural fingerprint and
+executed by a cache-tiled native interpreter where a C compiler is
+available (NumPy fallback otherwise) -- for another order of magnitude on
+Monte-Carlo workloads.  Backends are
 bit-identical by contract -- enforced by the differential suite
 (``pytest -m sim_backends``) -- so evaluators default to ``"auto"``
 workload-size selection and cached results are shared across backends.
@@ -103,7 +108,7 @@ from .core import ApproxFpgasConfig, ApproxFpgasFlow, run_approxfpgas
 from .engine import BatchEvaluator, EvalCache
 from .generators import CircuitLibrary, build_adder_library, build_multiplier_library
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ApproxFpgasConfig",

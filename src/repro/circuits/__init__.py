@@ -19,8 +19,16 @@ from .bitplane import (
     simulate_planes,
     unpack_bits,
 )
+from .compiled import (
+    CompiledProgram,
+    clear_program_cache,
+    compile_netlist,
+    simulate_bits_compiled,
+    simulate_planes_compiled,
+)
 from .simulate import (
     AUTO_BACKEND_MIN_PATTERNS,
+    AUTO_COMPILED_MIN_PATTERNS,
     DEFAULT_SIM_BACKEND,
     SIM_BACKENDS,
     bits_to_words,
@@ -30,6 +38,7 @@ from .simulate import (
     resolve_sim_backend,
     simulate_bits,
     simulate_words,
+    validate_sim_backend,
     words_to_bits,
 )
 from .verilog import to_verilog
@@ -54,7 +63,13 @@ __all__ = [
     "simulate_bits_packed",
     "simulate_planes",
     "unpack_bits",
+    "CompiledProgram",
+    "clear_program_cache",
+    "compile_netlist",
+    "simulate_bits_compiled",
+    "simulate_planes_compiled",
     "AUTO_BACKEND_MIN_PATTERNS",
+    "AUTO_COMPILED_MIN_PATTERNS",
     "DEFAULT_SIM_BACKEND",
     "SIM_BACKENDS",
     "bits_to_words",
@@ -64,6 +79,7 @@ __all__ = [
     "resolve_sim_backend",
     "simulate_bits",
     "simulate_words",
+    "validate_sim_backend",
     "words_to_bits",
     "to_verilog",
 ]

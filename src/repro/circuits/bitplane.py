@@ -61,7 +61,11 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
     if padded != patterns:
         pad = np.zeros(bits.shape[:-1] + (padded - patterns,), dtype=bool)
         bits = np.concatenate([bits, pad], axis=-1)
-    packed_bytes = np.ascontiguousarray(np.packbits(bits, axis=-1, bitorder="little"))
+    # ``np.packbits`` is ~2.5x slower on strided input; the common caller
+    # packs a transposed (net, patterns) view, so make it contiguous first.
+    packed_bytes = np.ascontiguousarray(
+        np.packbits(np.ascontiguousarray(bits), axis=-1, bitorder="little")
+    )
     return packed_bytes.view(np.uint64)
 
 

@@ -5,7 +5,7 @@ the circuit for an arbitrary number of input patterns.  This is the
 "behavioural model" counterpart of the C models that ship with EvoApproxLib
 in the original paper.
 
-Two interchangeable backends implement the pass, registered in the
+Three interchangeable backends implement the pass, registered in the
 :data:`SIM_BACKENDS` registry:
 
 * ``"bool"`` -- :func:`simulate_bits`, one NumPy ``bool`` byte per pattern
@@ -13,11 +13,17 @@ Two interchangeable backends implement the pass, registered in the
 * ``"bitplane"`` -- :func:`~repro.circuits.bitplane.simulate_bits_packed`,
   64 patterns packed per ``uint64`` lane; bit-identical outputs, much
   faster on large pattern counts.
+* ``"compiled"`` -- :func:`~repro.circuits.compiled.simulate_bits_compiled`,
+  lowers the netlist once into a levelized op tape (constant folding,
+  dead-node elimination, per-fingerprint program cache) executed over
+  packed bit planes; the fastest choice when the same circuit is simulated
+  on many patterns, i.e. the Monte-Carlo inner loop.
 
 Backends are *bit-identical by contract*: the differential suite
 (``pytest -m sim_backends``) asserts it, and downstream caches rely on it.
 Callers pick one by key, or pass ``"auto"`` to let the workload size decide
-(:func:`resolve_sim_backend`).
+(:func:`resolve_sim_backend`); use :func:`validate_sim_backend` to fail
+fast on unknown keys without selecting a callable.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ import numpy as np
 
 from ..registry import Registry
 from .bitplane import simulate_bits_packed
+from .compiled import simulate_bits_compiled
 from .gates import evaluate_gate
 from .netlist import Netlist
 
@@ -66,7 +73,11 @@ def simulate_bits(netlist: Netlist, input_bits: np.ndarray) -> np.ndarray:
 #: key here.
 SIM_BACKENDS = Registry(
     "simulation backend",
-    {"bool": simulate_bits, "bitplane": simulate_bits_packed},
+    {
+        "bool": simulate_bits,
+        "bitplane": simulate_bits_packed,
+        "compiled": simulate_bits_compiled,
+    },
 )
 
 #: Default backend when none is requested (the legacy implementation).
@@ -75,6 +86,11 @@ DEFAULT_SIM_BACKEND = "bool"
 #: ``"auto"`` picks the packed backend from this many patterns upward; below
 #: it the packing overhead is not worth it and the bool backend wins.
 AUTO_BACKEND_MIN_PATTERNS = 1024
+
+#: ``"auto"`` upgrades from ``"bitplane"`` to ``"compiled"`` from this many
+#: patterns upward, where the compile-once cost amortises within a single
+#: simulation even for cache-cold circuits.
+AUTO_COMPILED_MIN_PATTERNS = 4096
 
 SimBackend = Union[None, str, Callable[[Netlist, np.ndarray], np.ndarray]]
 
@@ -85,22 +101,50 @@ def resolve_sim_backend(
     """Resolve a backend selector to a simulation callable.
 
     ``backend`` may be ``None`` (the ``"bool"`` default), a
-    :data:`SIM_BACKENDS` key, ``"auto"`` (pick by ``patterns``: the packed
-    backend from :data:`AUTO_BACKEND_MIN_PATTERNS` patterns upward), or a
-    ready simulation callable, which is returned unchanged.  Unknown keys
-    raise :class:`~repro.registry.RegistryError` listing the available
-    backends.
+    :data:`SIM_BACKENDS` key, ``"auto"``, or a ready simulation callable,
+    which is returned unchanged.  ``"auto"`` picks by workload size:
+    ``"bool"`` below :data:`AUTO_BACKEND_MIN_PATTERNS` patterns,
+    ``"bitplane"`` from there, and ``"compiled"`` from
+    :data:`AUTO_COMPILED_MIN_PATTERNS` upward.  Requesting ``"auto"``
+    without a pattern count raises: it used to resolve silently to the
+    slowest backend, which punished exactly the callers who wanted speed.
+    Unknown keys raise :class:`~repro.registry.RegistryError` listing the
+    available backends; use :func:`validate_sim_backend` to check a key
+    without selecting.
     """
     if backend is None:
         backend = DEFAULT_SIM_BACKEND
     if callable(backend):
         return backend
     if backend == "auto":
-        if patterns is not None and patterns >= AUTO_BACKEND_MIN_PATTERNS:
+        if patterns is None:
+            raise ValueError(
+                "resolve_sim_backend('auto') needs patterns= to pick a backend; "
+                "pass the pattern count, or use validate_sim_backend() if you "
+                "only want to fail fast on unknown backend keys"
+            )
+        if patterns >= AUTO_COMPILED_MIN_PATTERNS:
+            backend = "compiled"
+        elif patterns >= AUTO_BACKEND_MIN_PATTERNS:
             backend = "bitplane"
         else:
             backend = DEFAULT_SIM_BACKEND
     return SIM_BACKENDS.get(backend)
+
+
+def validate_sim_backend(backend: SimBackend) -> SimBackend:
+    """Fail fast on unknown backend keys without selecting a callable.
+
+    Constructors that hold a backend *selector* (possibly ``"auto"``) for
+    later per-workload resolution call this instead of
+    :func:`resolve_sim_backend` so that validation and selection stay
+    distinct: ``"auto"`` is accepted as-is, unknown keys raise
+    :class:`~repro.registry.RegistryError` immediately.  Returns the
+    selector unchanged.
+    """
+    if backend is not None and not callable(backend) and backend != "auto":
+        SIM_BACKENDS.get(backend)
+    return backend
 
 
 def words_to_bits(values: np.ndarray, width: int) -> np.ndarray:
@@ -127,11 +171,23 @@ def words_to_bits(values: np.ndarray, width: int) -> np.ndarray:
 
 
 def bits_to_words(bits: np.ndarray) -> np.ndarray:
-    """Collapse a (n, width) boolean matrix (LSB first) into unsigned integers."""
+    """Collapse a (n, width) boolean matrix (LSB first) into unsigned integers.
+
+    Accumulation happens in ``uint64``: the former ``int64`` weights went
+    negative at bit 63 (``np.int64(1) << 63``), silently corrupting every
+    output word of width >= 64.  Words up to 63 bits return ``int64``
+    (unchanged dtype for existing callers), 64-bit words return ``uint64``,
+    and wider words fall back to arbitrary-precision Python ints in an
+    ``object`` array.
+    """
     bits = np.asarray(bits, dtype=bool)
     width = bits.shape[1]
-    weights = (np.int64(1) << np.arange(width, dtype=np.int64))
-    return bits.astype(np.int64) @ weights
+    if width > 64:
+        weights = np.array([1 << i for i in range(width)], dtype=object)
+        return bits.astype(object) @ weights
+    weights = np.uint64(1) << np.arange(width, dtype=np.uint64)
+    words = bits.astype(np.uint64) @ weights
+    return words if width == 64 else words.astype(np.int64)
 
 
 def expand_operand_bits(
@@ -148,6 +204,12 @@ def expand_operand_bits(
     missing = set(netlist.input_words) - set(operands)
     if missing:
         raise ValueError(f"missing operand values for input words: {sorted(missing)}")
+    extras = set(operands) - set(netlist.input_words)
+    if extras:
+        raise ValueError(
+            f"unknown operand names: {sorted(extras)}; "
+            f"the netlist's input words are {sorted(netlist.input_words)}"
+        )
     lengths = {len(np.asarray(operands[name])) for name in netlist.input_words}
     if len(lengths) != 1:
         raise ValueError("all operand arrays must have the same length")

@@ -36,9 +36,12 @@ from ..circuits import (
     bits_to_words,
     pack_bits,
     resolve_sim_backend,
+    simulate_bits_compiled,
     simulate_bits_packed,
     simulate_planes,
+    simulate_planes_compiled,
     unpack_bits,
+    validate_sim_backend,
 )
 from ..circuits.simulate import expand_operand_bits
 from ..error import ErrorEvaluator, ErrorReport
@@ -242,7 +245,7 @@ class BatchEvaluator:
             sim_backend = (
                 error_evaluator.sim_backend if error_evaluator is not None else "auto"
             )
-        resolve_sim_backend(sim_backend, patterns=0)  # fail fast on unknown keys
+        validate_sim_backend(sim_backend)  # fail fast on unknown keys
         self.sim_backend = sim_backend
 
         if error_evaluator is None and reference is not None:
@@ -362,7 +365,14 @@ class BatchEvaluator:
             return evaluator.evaluate(circuit)
         evaluator.check_interface(circuit)
         simulate = resolve_sim_backend(self.sim_backend, patterns=evaluator.num_patterns)
-        if simulate is simulate_bits_packed:
+        # Plane-level fast paths: both packed backends accept pre-packed
+        # input planes, so pack once per word layout and skip the per-circuit
+        # pack entirely (the compiled backend additionally reuses its
+        # per-fingerprint program cache across evaluations).
+        if simulate is simulate_bits_compiled:
+            output_planes = simulate_planes_compiled(circuit, self._input_planes_for(circuit))
+            output_bits = unpack_bits(output_planes, evaluator.num_patterns).T
+        elif simulate is simulate_bits_packed:
             output_planes = simulate_planes(circuit, self._input_planes_for(circuit))
             output_bits = unpack_bits(output_planes, evaluator.num_patterns).T
         else:

@@ -27,8 +27,8 @@ from ..circuits import Netlist
 from ..circuits.simulate import (
     exhaustive_operands,
     random_operands,
-    resolve_sim_backend,
     simulate_words,
+    validate_sim_backend,
 )
 from .metrics import ErrorAccumulator, ErrorMetrics, compute_error_metrics
 
@@ -65,9 +65,9 @@ class ErrorEvaluator:
         Seed for the Monte-Carlo operand generator (the same operands are
         reused for every circuit so results are comparable).
     sim_backend:
-        Simulation backend key (``"bool"``, ``"bitplane"``) or ``"auto"``
-        (the default: pick by pattern count).  Backends are bit-identical;
-        this knob only affects speed.
+        Simulation backend key (``"bool"``, ``"bitplane"``, ``"compiled"``)
+        or ``"auto"`` (the default: pick by pattern count).  Backends are
+        bit-identical; this knob only affects speed.
     chunk_patterns:
         When set, simulation and metric computation stream over pattern
         blocks of at most this size (via :class:`ErrorAccumulator`), so
@@ -86,7 +86,7 @@ class ErrorEvaluator:
     ):
         if chunk_patterns is not None and chunk_patterns <= 0:
             raise ValueError("chunk_patterns must be positive (or None for one-shot)")
-        resolve_sim_backend(sim_backend, patterns=0)  # fail fast on unknown keys
+        validate_sim_backend(sim_backend)  # fail fast on unknown keys
         self.reference = reference
         self.max_exhaustive_inputs = max_exhaustive_inputs
         self.num_samples = num_samples

@@ -1,18 +1,23 @@
 """Differential tests of the simulation backends (``-m sim_backends``).
 
-The ``"bool"`` and ``"bitplane"`` backends must be *bit-identical* on every
-netlist and every pattern count -- caches and flows rely on it (backend keys
-are deliberately absent from engine cache keys).  This suite checks the
-contract three ways:
+The ``"bool"``, ``"bitplane"`` and ``"compiled"`` backends must be
+*bit-identical* on every netlist and every pattern count -- caches and flows
+rely on it (backend keys are deliberately absent from engine cache keys).
+This suite checks the contract several ways:
 
 * unit parity of every packed gate kernel against its boolean truth table;
 * a seeded differential sweep over hundreds of randomly perturbed netlists
   and pattern counts (including non-multiples of 64 and floating
   ``gate.a/b == -1`` operands);
-* hypothesis-driven random netlist/pattern generation on top.
+* hypothesis-driven random netlist/pattern generation on top;
+* degenerate-netlist edge cases (wire-only, constant-only, repeated output
+  bits, width-1 words) that every backend -- and both executors of the
+  compiled backend (native and NumPy fallback) -- must agree on.
 """
 
 from __future__ import annotations
+
+import pickle
 
 import numpy as np
 import pytest
@@ -21,22 +26,28 @@ from hypothesis import strategies as st
 
 from repro.circuits import (
     AUTO_BACKEND_MIN_PATTERNS,
+    AUTO_COMPILED_MIN_PATTERNS,
     PLANE_WIDTH,
     SIM_BACKENDS,
     Gate,
     GateType,
     Netlist,
+    compile_netlist,
     evaluate_gate,
     evaluate_gate_packed,
+    exhaustive_operands,
     num_planes,
     pack_bits,
     resolve_sim_backend,
     simulate_bits,
+    simulate_bits_compiled,
     simulate_bits_packed,
     simulate_planes,
     simulate_words,
     unpack_bits,
+    validate_sim_backend,
 )
+from repro.circuits import compiled as compiled_module
 from repro.engine import BatchEvaluator, EvalCache
 from repro.error import ErrorEvaluator
 from repro.generators import array_multiplier, perturb_netlist, ripple_carry_adder
@@ -52,10 +63,11 @@ def random_input_bits(netlist: Netlist, patterns: int, rng: np.random.Generator)
 
 def assert_backends_agree(netlist: Netlist, input_bits: np.ndarray) -> None:
     reference = simulate_bits(netlist, input_bits)
-    packed = simulate_bits_packed(netlist, input_bits)
-    assert packed.dtype == reference.dtype
-    assert packed.shape == reference.shape
-    assert np.array_equal(reference, packed)
+    for simulate in (simulate_bits_packed, simulate_bits_compiled):
+        outputs = simulate(netlist, input_bits)
+        assert outputs.dtype == reference.dtype
+        assert outputs.shape == reference.shape
+        assert np.array_equal(reference, outputs)
 
 
 # --------------------------------------------------------------------- #
@@ -63,9 +75,10 @@ def assert_backends_agree(netlist: Netlist, input_bits: np.ndarray) -> None:
 # --------------------------------------------------------------------- #
 class TestBackendRegistry:
     def test_builtin_keys(self):
-        assert list(SIM_BACKENDS) == ["bool", "bitplane"]
+        assert list(SIM_BACKENDS) == ["bool", "bitplane", "compiled"]
         assert SIM_BACKENDS.get("bool") is simulate_bits
         assert SIM_BACKENDS.get("bitplane") is simulate_bits_packed
+        assert SIM_BACKENDS.get("compiled") is simulate_bits_compiled
 
     def test_unknown_key_lists_available(self):
         with pytest.raises(RegistryError, match="bitplane"):
@@ -81,19 +94,48 @@ class TestBackendRegistry:
             resolve_sim_backend("auto", patterns=AUTO_BACKEND_MIN_PATTERNS)
             is simulate_bits_packed
         )
-        assert resolve_sim_backend("auto") is simulate_bits
+        assert (
+            resolve_sim_backend("auto", patterns=AUTO_COMPILED_MIN_PATTERNS - 1)
+            is simulate_bits_packed
+        )
+        assert (
+            resolve_sim_backend("auto", patterns=AUTO_COMPILED_MIN_PATTERNS)
+            is simulate_bits_compiled
+        )
+
+    def test_auto_without_patterns_raises(self):
+        """``"auto"`` used to fall back silently to the slowest backend."""
+        with pytest.raises(ValueError, match="patterns"):
+            resolve_sim_backend("auto")
+        with pytest.raises(ValueError, match="patterns"):
+            resolve_sim_backend("auto", patterns=None)
+
+    def test_validate_accepts_selectors_without_selecting(self):
+        assert validate_sim_backend("auto") == "auto"
+        assert validate_sim_backend(None) is None
+        for key in SIM_BACKENDS:
+            assert validate_sim_backend(key) == key
+        with pytest.raises(RegistryError):
+            validate_sim_backend("cuda")
 
     def test_callable_passes_through(self):
         def custom(netlist, bits):  # pragma: no cover - identity placeholder
             return simulate_bits(netlist, bits)
 
         assert resolve_sim_backend(custom) is custom
+        assert validate_sim_backend(custom) is custom
 
     def test_unknown_backend_fails_fast_in_evaluator(self, multiplier4):
         with pytest.raises(RegistryError):
             ErrorEvaluator(multiplier4, sim_backend="nope")
         with pytest.raises(RegistryError):
             BatchEvaluator(multiplier4, sim_backend="nope")
+
+    def test_auto_evaluators_construct_without_pattern_count(self, multiplier4):
+        """Validation stays distinct from selection: ``"auto"`` holds until
+        the evaluator knows its pattern count."""
+        assert ErrorEvaluator(multiplier4, sim_backend="auto").sim_backend == "auto"
+        assert BatchEvaluator(multiplier4, sim_backend="auto").sim_backend == "auto"
 
 
 # --------------------------------------------------------------------- #
@@ -256,6 +298,7 @@ def test_simulate_words_backends_agree(multiplier4, rng):
     }
     reference = simulate_words(multiplier4, operands, backend="bool")
     assert np.array_equal(simulate_words(multiplier4, operands, backend="bitplane"), reference)
+    assert np.array_equal(simulate_words(multiplier4, operands, backend="compiled"), reference)
     assert np.array_equal(simulate_words(multiplier4, operands, backend="auto"), reference)
     assert np.array_equal(simulate_words(multiplier4, operands), reference)
 
@@ -264,9 +307,10 @@ def test_error_evaluator_backends_bit_identical(multiplier4):
     circuit = perturb_netlist(multiplier4, seed=11)
     reports = {
         backend: ErrorEvaluator(multiplier4, sim_backend=backend).evaluate(circuit)
-        for backend in ("bool", "bitplane", "auto")
+        for backend in ("bool", "bitplane", "compiled", "auto")
     }
     assert reports["bool"].metrics == reports["bitplane"].metrics
+    assert reports["bool"].metrics == reports["compiled"].metrics
     assert reports["bool"].metrics == reports["auto"].metrics
 
 
@@ -324,12 +368,14 @@ def test_engine_results_and_cache_shared_across_backends(multiplier4):
     for bool_report, packed_report in zip(bool_reports, packed_reports):
         assert bool_report.metrics == packed_report.metrics
 
-    # And an uncached packed engine recomputes the exact same metrics.
-    fresh = BatchEvaluator(
-        multiplier4, cache=EvalCache(), mode="serial", sim_backend="bitplane"
-    ).evaluate_errors(circuits)
-    for bool_report, fresh_report in zip(bool_reports, fresh):
-        assert bool_report.metrics == fresh_report.metrics
+    # And uncached packed / compiled engines recompute the exact same
+    # metrics (the compiled engine exercises the plane-level fast path).
+    for backend in ("bitplane", "compiled"):
+        fresh = BatchEvaluator(
+            multiplier4, cache=EvalCache(), mode="serial", sim_backend=backend
+        ).evaluate_errors(circuits)
+        for bool_report, fresh_report in zip(bool_reports, fresh):
+            assert bool_report.metrics == fresh_report.metrics
 
 
 def test_engine_inherits_backend_from_evaluator(multiplier4):
@@ -364,3 +410,174 @@ def test_degenerate_chunk_shares_cache_with_one_shot(multiplier4):
     after = cache.stats()
     assert after.misses == before.misses + 1
     assert streamed.metrics.med == report.metrics.med
+
+
+# --------------------------------------------------------------------- #
+# Degenerate-netlist edge cases, differential across all backends
+# --------------------------------------------------------------------- #
+class TestDegenerateNetlists:
+    """Every backend must agree on the shapes simulation rarely sees."""
+
+    def test_wire_only_netlist(self, rng):
+        """Zero gates: outputs wired straight to (repeated) input bits."""
+        netlist = Netlist(
+            name="wires",
+            kind="test",
+            input_words={"a": (0, 1), "b": (2,)},
+            output_bits=(1, 0, 2, 1),  # permuted and repeated input nodes
+            gates=[],
+        )
+        for patterns in (1, 64, 65, 200):
+            bits = random_input_bits(netlist, patterns, rng)
+            assert_backends_agree(netlist, bits)
+            outputs = simulate_bits_compiled(netlist, bits)
+            assert np.array_equal(outputs, bits[:, [1, 0, 2, 1]])
+
+    def test_constant_only_gates(self, rng):
+        netlist = Netlist(
+            name="consts",
+            kind="test",
+            input_words={"a": (0,)},
+            output_bits=(1, 2, 1),  # repeated constant outputs too
+            gates=[Gate(GateType.CONST0), Gate(GateType.CONST1)],
+        )
+        for patterns in (1, 63, 130):
+            bits = random_input_bits(netlist, patterns, rng)
+            assert_backends_agree(netlist, bits)
+            outputs = simulate_bits_compiled(netlist, bits)
+            assert not outputs[:, 0].any()
+            assert outputs[:, 1].all()
+            assert not outputs[:, 2].any()
+
+    def test_repeated_gate_output_bits(self, rng):
+        netlist = Netlist(
+            name="repeated",
+            kind="test",
+            input_words={"a": (0,), "b": (1,)},
+            output_bits=(2, 2, 3, 2),
+            gates=[Gate(GateType.XOR, 0, 1), Gate(GateType.NAND, 0, 1)],
+        )
+        for patterns in (1, 65, 200):
+            bits = random_input_bits(netlist, patterns, rng)
+            assert_backends_agree(netlist, bits)
+            outputs = simulate_bits_compiled(netlist, bits)
+            assert np.array_equal(outputs[:, 0], outputs[:, 1])
+            assert np.array_equal(outputs[:, 0], outputs[:, 3])
+
+    def test_width_one_words(self, rng):
+        netlist = Netlist(
+            name="bit_and",
+            kind="test",
+            input_words={"a": (0,), "b": (1,)},
+            output_bits=(2,),
+            gates=[Gate(GateType.AND, 0, 1)],
+        )
+        for patterns in (1, 64, 129):
+            assert_backends_agree(netlist, random_input_bits(netlist, patterns, rng))
+        words = simulate_words(netlist, {"a": [0, 1, 0, 1], "b": [0, 0, 1, 1]})
+        assert words.tolist() == [0, 0, 0, 1]
+
+    def test_exhaustive_operands_single_input_word(self):
+        netlist = Netlist(
+            name="parity3",
+            kind="test",
+            input_words={"a": (0, 1, 2)},
+            output_bits=(4,),
+            gates=[Gate(GateType.XOR, 0, 1), Gate(GateType.XOR, 3, 2)],
+        )
+        operands = exhaustive_operands(netlist)
+        assert list(operands) == ["a"]
+        assert np.array_equal(operands["a"], np.arange(8))
+        expected = [bin(value).count("1") % 2 for value in range(8)]
+        for backend in SIM_BACKENDS:
+            words = simulate_words(netlist, operands, backend=backend)
+            assert words.tolist() == expected
+
+
+# --------------------------------------------------------------------- #
+# Compiled-program unit tests (lowering, caching, pickling, fallback)
+# --------------------------------------------------------------------- #
+class TestCompiledProgram:
+    def test_dead_node_elimination_and_folding(self):
+        netlist = Netlist(
+            name="foldable",
+            kind="test",
+            input_words={"a": (0,), "b": (1,)},
+            # node ids: inputs 0-1; gates 2-7
+            output_bits=(7,),
+            gates=[
+                Gate(GateType.AND, 0, 1),      # 2: dead (not in any output cone)
+                Gate(GateType.CONST1),         # 3: folds to the constant slot
+                Gate(GateType.AND, 0, 3),      # 4: AND with 1 -> alias of input 0
+                Gate(GateType.NOT, 4),         # 5: free polarity flip
+                Gate(GateType.XOR, 5, 5),      # 6: same-operand XOR -> constant 0
+                Gate(GateType.OR, 6, 1),       # 7: OR with 0 -> alias of input 1
+            ],
+        )
+        program = compile_netlist(netlist, use_cache=False)
+        assert program.source_gates == 6
+        assert program.live_gates == 5  # gate 2 eliminated
+        assert program.num_ops == 0  # everything folded or aliased
+        bits = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=bool)
+        assert np.array_equal(program.simulate_bits(bits), bits[:, [1]])
+
+    def test_inverting_gates_become_polarity_flags(self, multiplier4):
+        """NAND/NOR/XNOR/NOT lower to non-inverting tape opcodes."""
+        perturbed = perturb_netlist(multiplier4, seed=3)
+        for netlist in (multiplier4, perturbed):
+            program = compile_netlist(netlist, use_cache=False)
+            assert program.num_ops <= program.live_gates
+            assert program.tape.shape == (program.num_ops, 4)
+            opcodes = set(program.tape[:, 0].tolist())
+            assert opcodes <= {
+                compiled_module.OP_AND,
+                compiled_module.OP_OR,
+                compiled_module.OP_XOR,
+                compiled_module.OP_ANDNOT,
+                compiled_module.OP_ORNOT,
+            }
+
+    def test_program_cache_identity_and_eviction(self, multiplier4):
+        compiled_module.clear_program_cache()
+        first = compile_netlist(multiplier4)
+        assert compile_netlist(multiplier4) is first
+        # A structurally identical rebuild shares the fingerprint entry; a
+        # perturbed variant gets its own.
+        assert compile_netlist(array_multiplier(4)) is first
+        assert compile_netlist(perturb_netlist(multiplier4, seed=9)) is not first
+        assert compile_netlist(multiplier4) is first
+        assert compile_netlist(multiplier4, use_cache=False) is not first
+        compiled_module.clear_program_cache()
+        assert compile_netlist(multiplier4) is not first
+
+    def test_program_pickles_cleanly(self, multiplier4, rng):
+        """Process pools may ship programs; results must survive the trip."""
+        program = compile_netlist(multiplier4, use_cache=False)
+        restored = pickle.loads(pickle.dumps(program))
+        bits = random_input_bits(multiplier4, 197, rng)
+        assert np.array_equal(restored.simulate_bits(bits), simulate_bits(multiplier4, bits))
+        assert restored.fingerprint == program.fingerprint
+
+    def test_numpy_fallback_matches_native(self, multiplier4, rng, monkeypatch):
+        """The pure-NumPy executor is pinned against the bool backend even
+        when the native tape interpreter is available and in use."""
+        monkeypatch.setattr(compiled_module, "run_tape_native", lambda *args: False)
+        for seed in range(4):
+            netlist = perturb_netlist(multiplier4, seed=seed)
+            for patterns in (1, 64, 197):
+                bits = random_input_bits(netlist, patterns, rng)
+                assert np.array_equal(
+                    simulate_bits_compiled(netlist, bits), simulate_bits(netlist, bits)
+                )
+
+    def test_planes_entry_point_matches_bitplane(self, multiplier4, rng):
+        from repro.circuits import simulate_planes_compiled
+
+        bits = random_input_bits(multiplier4, 320, rng)
+        planes = pack_bits(bits.T)
+        expected = simulate_planes(multiplier4, planes)
+        got = simulate_planes_compiled(multiplier4, planes)
+        assert got.dtype == np.uint64
+        assert np.array_equal(
+            unpack_bits(got, 320), unpack_bits(expected, 320)
+        )

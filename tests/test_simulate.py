@@ -62,6 +62,29 @@ def test_words_to_bits_accepts_any_integer_dtype():
     assert np.array_equal(bits_to_words(words_to_bits(np.array([True, False]), 1)), [1, 0])
 
 
+@pytest.mark.parametrize("width", [62, 63, 64])
+def test_bits_to_words_wide_words_do_not_overflow(width):
+    """Regression: int64 weights went negative at bit 63, corrupting every
+    word of width >= 64 (and risking the int64 boundary at 63)."""
+    values = [0, 1, (1 << (width - 1)), (1 << width) - 1, (1 << (width - 1)) | 1]
+    bits = np.zeros((len(values), width), dtype=bool)
+    for row, value in enumerate(values):
+        for bit in range(width):
+            bits[row, bit] = (value >> bit) & 1
+    words = bits_to_words(bits)
+    assert [int(word) for word in words] == values
+    assert words.dtype == (np.uint64 if width == 64 else np.int64)
+
+
+def test_bits_to_words_beyond_64_bits_uses_python_ints():
+    width = 70
+    value = (1 << width) - 3
+    bits = np.array([[bool((value >> bit) & 1) for bit in range(width)]], dtype=bool)
+    words = bits_to_words(bits)
+    assert words.dtype == object
+    assert words[0] == value
+
+
 def test_simulate_words_rejects_float_operands(adder8):
     """Regression: simulate_words validates operands like words_to_bits."""
     with pytest.raises(TypeError):
@@ -81,6 +104,14 @@ def test_simulate_words_missing_operand(adder8):
 def test_simulate_words_mismatched_lengths(adder8):
     with pytest.raises(ValueError):
         simulate_words(adder8, {"a": [1, 2], "b": [1]})
+
+
+def test_simulate_words_rejects_unknown_operand_names(adder8):
+    """Regression: a typo'd extra operand key used to be dropped silently."""
+    with pytest.raises(ValueError, match="unknown operand names"):
+        simulate_words(adder8, {"a": [1, 2], "b": [3, 4], "a ": [5, 6]})
+    with pytest.raises(ValueError, match=r"input words are \['a', 'b'\]"):
+        simulate_words(adder8, {"a": [1], "b": [2], "carry": [0]})
 
 
 @settings(max_examples=25)
