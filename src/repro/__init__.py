@@ -17,7 +17,14 @@ The package is organised as the paper's system diagram (Fig. 2):
   metrics and seeded input sets),
 * :mod:`repro.api` -- the public session / pipeline / registry API (see below),
 * :mod:`repro.autoax` -- the AutoAx-FPGA case study machinery
-  (estimators, search strategies, staged flow) over those workloads.
+  (estimators, search strategies, staged flow) over those workloads,
+* :mod:`repro.service` -- exploration as a service: an async job layer
+  (``JobClient`` / ``JobRegistry`` / ``Worker``,
+  ``python -m repro.service.worker``) where every worker shares one
+  sharded content-addressed cache (:class:`repro.io.ShardedJsonStore`),
+  jobs are claimed through heartbeated lease files, and a job reclaimed
+  from a dead worker resumes from its pipeline/NSGA-II checkpoints
+  bit-identically.
 
 Public API
 ----------
@@ -108,7 +115,7 @@ from .core import ApproxFpgasConfig, ApproxFpgasFlow, run_approxfpgas
 from .engine import BatchEvaluator, EvalCache
 from .generators import CircuitLibrary, build_adder_library, build_multiplier_library
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ApproxFpgasConfig",

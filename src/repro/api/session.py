@@ -30,7 +30,7 @@ from typing import Dict, Optional, Sequence, Union
 import numpy as np
 
 from ..engine import BatchEvaluator, EvalCache
-from ..io.persistence import JsonDirectoryStore
+from ..io.persistence import ShardedJsonStore
 from .pipeline import PipelineRun
 from .registries import resolve_synthesizer
 
@@ -57,6 +57,16 @@ class ExplorationSession:
     cache:
         An explicit :class:`EvalCache` to share with other components;
         overrides the workspace-derived cache.
+    store:
+        An explicit artifact store (any ``get``/``put`` object, e.g. a
+        :class:`repro.io.ShardedJsonStore` shared by many worker
+        processes); overrides the workspace-derived store.  This is how
+        :mod:`repro.service` workers point many sessions at one shared
+        checkpoint store.
+    shards:
+        Shard count of the workspace-derived cache and artifact stores
+        (see :class:`repro.io.ShardedJsonStore`).  The default of 1 keeps
+        the historical flat layout, so existing workspaces stay warm.
     fpga_synthesizer / asic_synthesizer:
         A :data:`~repro.api.registries.SYNTHESIZERS` key (``"fpga"``,
         ``"asic"``) or a ready-made synthesizer instance.
@@ -77,21 +87,27 @@ class ExplorationSession:
         seed: int = 42,
         workspace: Optional[PathLike] = None,
         cache: Optional[EvalCache] = None,
+        store: Optional[object] = None,
         fpga_synthesizer: Union[str, object] = "fpga",
         asic_synthesizer: Union[str, object] = "asic",
         engine_mode: str = "auto",
         max_workers: Optional[int] = None,
         sim_backend: str = "auto",
+        shards: int = 1,
     ):
         self.seed = seed
         self.workspace = Path(workspace) if workspace is not None else None
         if cache is None:
-            disk_path = self.workspace / "cache" if self.workspace else None
-            cache = EvalCache(disk_path=disk_path)
+            disk_store = (
+                ShardedJsonStore(self.workspace / "cache", shards=shards)
+                if self.workspace
+                else None
+            )
+            cache = EvalCache(store=disk_store)
         self.cache = cache
-        self.store = (
-            JsonDirectoryStore(self.workspace / "artifacts") if self.workspace else None
-        )
+        if store is None and self.workspace:
+            store = ShardedJsonStore(self.workspace / "artifacts", shards=shards)
+        self.store = store
         self.fpga_synthesizer = resolve_synthesizer(fpga_synthesizer)
         self.asic_synthesizer = resolve_synthesizer(asic_synthesizer)
         self.engine_mode = engine_mode
@@ -201,6 +217,7 @@ class ExplorationSession:
         images=None,
         run_id: Optional[str] = None,
         progress=None,
+        on_generation=None,
         resume: bool = True,
     ):
         """Run the staged AutoAx-FPGA case study on the given components.
@@ -217,6 +234,12 @@ class ExplorationSession:
         search with ``AutoAxConfig(search_strategy="nsga2")``).  Returns the
         :class:`~repro.autoax.flow.AutoAxResult`; per-stage timings land in
         :attr:`runs` under a per-workload run id.
+
+        With a session store attached, generation-aware strategies
+        (``"nsga2"``) checkpoint every completed generation inside their
+        scenario stage and report each fresh generation's stats to
+        ``on_generation`` -- finer-grained liveness and resume points than
+        the per-stage ``progress`` events.
         """
         from ..autoax.flow import AutoAxConfig
         from ..autoax.stages import default_autoax_run_id, run_autoax_pipeline
@@ -232,6 +255,7 @@ class ExplorationSession:
             store=self.store,
             run_id=run_id,
             progress=progress,
+            on_generation=on_generation,
             resume=resume,
         )
         self.runs[run_id] = run

@@ -357,6 +357,7 @@ def nsga2_pareto(
     engine: Optional["BatchEvaluator"] = None,  # noqa: F821
     store=None,
     run_id: str = "nsga2-search",
+    on_generation=None,
 ) -> List[EvaluatedConfiguration]:
     """Population-based NSGA-II over the configuration space.
 
@@ -386,7 +387,10 @@ def nsga2_pareto(
     archive and RNG stream -- is checkpointed every generation and a rerun
     with the same ``run_id`` resumes bit-identically (pass the *same
     fitted estimator instances*: the checkpoint token covers accelerator
-    and search knobs, not the estimators' fitted state).
+    and search knobs, not the estimators' fitted state).  ``on_generation``
+    is forwarded to :func:`repro.search.run_nsga2`: it fires with the stats
+    dict of every freshly computed generation, after that generation's
+    checkpoint is persisted (service workers heartbeat their leases there).
     """
     parameter = hw_estimator.parameter
     slots_m = accelerator.num_multiplier_slots
@@ -458,6 +462,7 @@ def nsga2_pareto(
         store=store,
         run_id=run_id,
         token=token,
+        on_generation=on_generation,
     )
 
     candidates = [

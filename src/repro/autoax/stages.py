@@ -14,6 +14,7 @@ resumed run still matches an uninterrupted one exactly.
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -99,6 +100,23 @@ class AutoAxState:
     qor_estimator: Optional[QorEstimator] = None
     scenarios: Dict[str, "ScenarioResult"] = field(default_factory=dict)  # noqa: F821
     baseline: List[EvaluatedConfiguration] = field(default_factory=list)
+
+    store: Optional[object] = None
+    """Optional artifact store (``get``/``put``).  Strategies that support
+    mid-stage checkpointing (currently ``"nsga2"``) persist their
+    per-generation state here under ``<run_id>:scenario-<parameter>``, so a
+    run killed *inside* a scenario stage resumes from the last completed
+    generation instead of the last completed stage."""
+
+    run_id: str = ""
+    """Checkpoint namespace of this run inside :attr:`store` (mirrors the
+    pipeline run id)."""
+
+    on_generation: Optional[object] = None
+    """Optional callable fired with each freshly computed generation's stats
+    dict by generation-aware strategies -- the pipeline's per-stage progress
+    callback is too coarse for liveness signals during a long search, so
+    service workers renew their job leases here."""
 
     @classmethod
     def create(
@@ -211,6 +229,16 @@ class ScenarioStage(Stage):
         # through the state engine when one is attached.  (The nsga2
         # strategy's own ``images``/``engine`` parameters serve direct API
         # users; forwarding them here would duplicate the exact pass.)
+        # Checkpoint stores and generation callbacks are threaded only into
+        # strategies whose signature accepts them; either way the candidate
+        # values are identical (checkpointing never changes the RNG stream).
+        supported = inspect.signature(strategy).parameters
+        extra: Dict[str, object] = {}
+        if state.store is not None and "store" in supported and "run_id" in supported:
+            extra["store"] = state.store
+            extra["run_id"] = f"{state.run_id}:{self.name}" if state.run_id else self.name
+        if state.on_generation is not None and "on_generation" in supported:
+            extra["on_generation"] = state.on_generation
         candidates = strategy(
             state.accelerator,
             state.qor_estimator,
@@ -218,6 +246,7 @@ class ScenarioStage(Stage):
             iterations=config.hill_climb_iterations,
             seed=config.seed + 100 + self.offset,
             cache=state.cache,
+            **extra,
         )
         evaluated = exact_reevaluation(
             state.accelerator, state.images, candidates, cache=state.cache, engine=state.engine
@@ -328,6 +357,7 @@ def run_autoax_pipeline(
     store: Optional[object] = None,
     run_id: Optional[str] = None,
     progress=None,
+    on_generation=None,
     resume: bool = True,
 ) -> Tuple["AutoAxResult", PipelineRun]:  # noqa: F821
     """Run the staged AutoAx-FPGA case study, optionally checkpointing.
@@ -336,14 +366,25 @@ def run_autoax_pipeline(
     evaluate training samples, baselines and candidate re-evaluations as
     generation batches -- bit-identical results, amortised per-image work
     and optional process-pool fan-out.
+
+    With a ``store``, checkpoints are written at two granularities: the
+    pipeline checkpoints every completed stage, and generation-aware
+    strategies (``"nsga2"``) additionally checkpoint every completed
+    generation inside their scenario stage, so a run killed mid-search loses
+    at most one generation.  ``on_generation`` (stats dict per freshly
+    computed generation) is forwarded to such strategies.
     """
     state = AutoAxState.create(
         multipliers, adders, config, images=images, cache=cache, engine=engine
     )
+    run_id = run_id or default_autoax_run_id(state.config.workload)
+    state.store = store
+    state.run_id = run_id
+    state.on_generation = on_generation
     pipeline = Pipeline(
         autoax_stages(state.config),
         store=store,
-        run_id=run_id or default_autoax_run_id(state.config.workload),
+        run_id=run_id,
         token=autoax_run_token(state),
         progress=progress,
     )

@@ -32,6 +32,10 @@ class CacheStats:
     size: int
     capacity: int
     disk_hits: int
+    corrupt: int = 0
+    """Corrupt on-disk entries encountered (counted as misses); non-zero
+    only with a disk backend that tracks decode failures, e.g.
+    :class:`repro.io.ShardedJsonStore`."""
 
     @property
     def lookups(self) -> int:
@@ -52,8 +56,28 @@ class CacheStats:
             "size": self.size,
             "capacity": self.capacity,
             "disk_hits": self.disk_hits,
+            "corrupt": self.corrupt,
             "hit_rate": self.hit_rate,
         }
+
+    def since(self, before: "CacheStats") -> "CacheStats":
+        """The delta of the cumulative counters relative to ``before``.
+
+        ``size`` and ``capacity`` are instantaneous, not cumulative, so the
+        current values are kept.  This is how callers attribute cache
+        traffic to one unit of work on a shared cache -- e.g. the
+        :mod:`repro.service` worker records per-job (and thereby per-tenant)
+        hit rates of the one shared store.
+        """
+        return CacheStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            evictions=self.evictions - before.evictions,
+            size=self.size,
+            capacity=self.capacity,
+            disk_hits=self.disk_hits - before.disk_hits,
+            corrupt=self.corrupt - before.corrupt,
+        )
 
 
 class EvalCache:
@@ -155,4 +179,5 @@ class EvalCache:
             size=len(self._memory),
             capacity=self.capacity,
             disk_hits=self._disk_hits,
+            corrupt=int(getattr(self.store, "corrupt_count", 0)),
         )

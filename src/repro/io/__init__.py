@@ -2,6 +2,7 @@
 
 from .persistence import (
     JsonDirectoryStore,
+    ShardedJsonStore,
     export_library,
     export_pareto_rtl,
     library_catalog,
@@ -12,6 +13,7 @@ from .persistence import (
 
 __all__ = [
     "JsonDirectoryStore",
+    "ShardedJsonStore",
     "export_library",
     "export_pareto_rtl",
     "library_catalog",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import uuid
 from pathlib import Path
@@ -22,69 +23,166 @@ from ..generators import CircuitLibrary
 
 PathLike = Union[str, Path]
 
+logger = logging.getLogger("repro.io")
 
-class JsonDirectoryStore:
-    """A directory of JSON files acting as a key -> value mapping.
 
-    This is the on-disk backend of :class:`repro.engine.EvalCache`: each
-    entry is one small JSON file named after a hash of its key, so arbitrary
-    keys (cache keys embed colons and hex fingerprints) map to safe file
-    names.  The original key is stored inside the file and checked on load,
-    which turns the astronomically unlikely hash collision into a miss
-    instead of silently returning the wrong payload.
+class ShardedJsonStore:
+    """A concurrency-safe directory of JSON files acting as a key -> value map.
+
+    This is the shared on-disk backend of the whole system: the
+    :class:`repro.engine.EvalCache` disk layer, pipeline checkpoints,
+    :meth:`repro.search.ParetoArchive.save` payloads and the
+    :mod:`repro.service` job artifacts all ride on it.  Each entry is one
+    small JSON file named after a hash of its key, so arbitrary keys (cache
+    keys embed colons and hex fingerprints) map to safe file names.  The
+    original key is stored inside the file and checked on load, which turns
+    the astronomically unlikely hash collision into a miss instead of
+    silently returning the wrong payload.
+
+    Concurrency and sharding
+    ------------------------
+    Writes are atomic: the payload goes to a uniquely named temp file in the
+    destination directory and is published with :func:`os.replace`, so a
+    concurrent reader sees either the old entry or the new one, never a
+    half-written file.  With ``shards > 1`` entries are spread over
+    ``shards`` subdirectories by a prefix of the hashed key; because cache
+    keys are content-addressed, many worker processes hammering one store
+    spread their file creations over the shard directories instead of
+    serialising on a single directory inode.  ``shards == 1`` keeps the
+    historical flat layout of :class:`JsonDirectoryStore`, so existing warm
+    cache directories stay readable.
+
+    The shard count is a *layout* property of the directory: a ``.shards``
+    marker is written on first use and a later open with a different count
+    raises instead of silently missing every existing entry.
+
+    Corrupt entries (truncated or mangled JSON, e.g. after a power loss)
+    count as misses; they are additionally tallied in :attr:`corrupt_count`
+    (surfaced as ``CacheStats.corrupt`` when the store backs an
+    :class:`~repro.engine.EvalCache`) and logged once per store instance.
     """
 
-    def __init__(self, directory: PathLike):
+    _MARKER = ".shards"
+
+    def __init__(self, directory: PathLike, shards: int = 16):
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.shards = int(shards)
+        self.corrupt_count = 0
+        self._corrupt_logged = False
+        self._check_layout()
+
+    # ------------------------------------------------------------------ #
+    def _check_layout(self) -> None:
+        """Pin the shard count of the directory via a ``.shards`` marker."""
+        marker = self.directory / self._MARKER
+        try:
+            existing = int(marker.read_text(encoding="utf-8").strip())
+        except FileNotFoundError:
+            self._atomic_write(marker, str(self.shards))
+            return
+        except (OSError, ValueError):
+            # Unreadable marker: rewrite it with our layout (best effort).
+            self._atomic_write(marker, str(self.shards))
+            return
+        if existing != self.shards:
+            raise ValueError(
+                f"store at {self.directory} is sharded with shards={existing}; "
+                f"opening it with shards={self.shards} would miss every entry"
+            )
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        """Publish ``text`` at ``path`` via a unique temp file + rename."""
+        temporary = path.parent / f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+        try:
+            temporary.write_text(text, encoding="utf-8")
+            temporary.replace(path)
+        finally:
+            temporary.unlink(missing_ok=True)
 
     def _path(self, key: str) -> Path:
         token = hashlib.blake2b(key.encode("utf-8"), digest_size=20).hexdigest()
-        return self.directory / f"{token}.json"
+        if self.shards == 1:
+            return self.directory / f"{token}.json"
+        shard = int(token[:8], 16) % self.shards
+        return self.directory / f"{shard:04x}" / f"{token}.json"
 
+    def _entry_files(self) -> Iterator[Path]:
+        if self.shards == 1:
+            yield from self.directory.glob("*.json")
+        else:
+            yield from self.directory.glob("[0-9a-f]*/*.json")
+
+    # ------------------------------------------------------------------ #
     def get(self, key: str) -> Optional[object]:
         path = self._path(key)
-        if not path.is_file():
-            return None
         try:
             entry = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+        except (FileNotFoundError, OSError):
             return None
-        if entry.get("key") != key:
+        except json.JSONDecodeError:
+            self._record_corrupt(path)
+            return None
+        if not isinstance(entry, dict) or entry.get("key") != key:
             return None
         return entry.get("value")
 
     def put(self, key: str, value: object) -> None:
         path = self._path(key)
-        payload = json.dumps({"key": key, "value": value})
+        if self.shards > 1:
+            path.parent.mkdir(exist_ok=True)
         # Unique temp name per writer: concurrent processes sharing one cache
         # directory must not clobber each other's half-written files before
         # the atomic rename.
-        temporary = path.with_suffix(f".{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
-        try:
-            temporary.write_text(payload, encoding="utf-8")
-            temporary.replace(path)
-        finally:
-            temporary.unlink(missing_ok=True)
+        self._atomic_write(path, json.dumps({"key": key, "value": value}))
+
+    def _record_corrupt(self, path: Path) -> None:
+        self.corrupt_count += 1
+        if not self._corrupt_logged:
+            self._corrupt_logged = True
+            logger.warning(
+                "corrupt JSON entry at %s treated as a cache miss "
+                "(further corrupt entries are counted, not logged)",
+                path,
+            )
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.json"))
+        return sum(1 for _ in self._entry_files())
 
     def keys(self) -> Iterator[str]:
-        for path in self.directory.glob("*.json"):
+        for path in self._entry_files():
             try:
                 entry = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, json.JSONDecodeError):
+            except OSError:
                 continue
-            if "key" in entry:
+            except json.JSONDecodeError:
+                self._record_corrupt(path)
+                continue
+            if isinstance(entry, dict) and "key" in entry:
                 yield entry["key"]
 
     def clear(self) -> None:
-        for path in self.directory.glob("*.json"):
+        for path in self._entry_files():
             path.unlink(missing_ok=True)
+
+
+class JsonDirectoryStore(ShardedJsonStore):
+    """The historical flat (single-directory) JSON store.
+
+    A thin wrapper over :class:`ShardedJsonStore` with ``shards=1``: the
+    file layout is unchanged, so cache directories written by earlier
+    versions stay readable, and writes gained the sharded store's atomic
+    temp-file + :func:`os.replace` publication along the way.
+    """
+
+    def __init__(self, directory: PathLike):
+        super().__init__(directory, shards=1)
 
 
 def library_catalog(library: CircuitLibrary) -> Dict[str, object]:

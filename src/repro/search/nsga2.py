@@ -179,17 +179,27 @@ def run_nsga2(
     run_id: str = "nsga2",
     token: str = "",
     resume: bool = True,
+    on_generation: Optional[Callable[[dict], None]] = None,
 ) -> Nsga2Result:
     """Run (or resume) NSGA-II and return the final archive and population.
 
     ``evaluate`` receives the whole generation at once and must return one
     objective tuple (all minimised) per genome, in order.  With a ``store``
     attached (any ``get``/``put`` object, e.g.
-    :class:`repro.io.JsonDirectoryStore`), the full search state -- including
+    :class:`repro.io.JsonDirectoryStore` or its sharded variant), the full
+    search state -- including
     the RNG stream -- is checkpointed after every generation; a rerun with
     the same ``run_id``/``token`` resumes from the stored generation and
     finishes bit-identically to an uninterrupted run.  A different ``token``
     (changed problem or configuration) invalidates old checkpoints.
+
+    ``on_generation`` is called with the per-generation stats dict (see
+    ``Nsga2Result.history``) after every *freshly computed* generation, once
+    its checkpoint -- when a store is attached -- has been persisted.
+    Long-running callers use it for liveness signals (the
+    :mod:`repro.service` worker renews its job lease there), which is also
+    why it fires after the checkpoint write: a callback that aborts the run
+    never loses the generation it was told about.
     """
     config = config or Nsga2Config()
     rng = np.random.default_rng(config.seed)
@@ -238,6 +248,8 @@ def run_nsga2(
                 evaluations=evaluations,
                 history=history,
             )
+        if on_generation is not None:
+            on_generation(history[-1])
 
     while generation < config.generations:
         points = np.array(objectives, dtype=np.float64)
@@ -284,6 +296,8 @@ def run_nsga2(
                 evaluations=evaluations,
                 history=history,
             )
+        if on_generation is not None:
+            on_generation(history[-1])
 
     return Nsga2Result(
         archive=archive,

@@ -1,0 +1,110 @@
+"""`JobClient`: the submit/status/result/cancel surface of the service.
+
+A client is a thin veneer over the shared :class:`JobRegistry` -- it does
+not talk to workers, only to the on-disk registry both sides share, so a
+client works from any process that can see the service root::
+
+    from repro.service import JobClient
+
+    client = JobClient("runs/service", tenant="alice")
+    job_id = client.submit("autoax", {"workload": "sobel"})
+    ...                                   # a worker picks the job up
+    record = client.status(job_id)        # state, progress, cache telemetry
+    payload = client.result(job_id)       # the finished flow's payload
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Union
+
+from .flows import JOB_FLOWS
+from .jobs import JobRecord, JobRegistry, JobSpec
+
+__all__ = ["JobClient"]
+
+
+class JobClient:
+    """Submit and track jobs against one service root.
+
+    Parameters
+    ----------
+    registry:
+        The shared :class:`JobRegistry` (or a service-root path to open).
+    tenant:
+        Default tenant recorded on jobs this client submits.
+    """
+
+    def __init__(
+        self,
+        registry: Union[JobRegistry, str, "object"],
+        *,
+        tenant: str = "default",
+    ):
+        if not isinstance(registry, JobRegistry):
+            registry = JobRegistry(registry)
+        self.registry = registry
+        self.tenant = tenant
+
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        flow: str,
+        params: Optional[Dict[str, object]] = None,
+        *,
+        tenant: Optional[str] = None,
+        job_id: Optional[str] = None,
+    ) -> str:
+        """Enqueue ``flow`` with ``params`` and return the job id.
+
+        Unknown flow keys are rejected here, at submission time, rather
+        than surfacing later as a failed job on some worker.
+        """
+        JOB_FLOWS.get(flow)  # raises RegistryError for unknown flows
+        spec = JobSpec(flow=flow, params=dict(params or {}), tenant=tenant or self.tenant)
+        return self.registry.submit(spec, job_id=job_id).job_id
+
+    def status(self, job_id: str) -> JobRecord:
+        """The job's current record (state, progress, attempts, telemetry)."""
+        return self.registry.get(job_id)
+
+    def result(self, job_id: str) -> object:
+        """The finished job's payload.
+
+        Raises ``RuntimeError`` for failed jobs (with the recorded error)
+        and ``ValueError`` for jobs that have not finished yet.
+        """
+        record = self.registry.get(job_id)
+        if record.state == "failed":
+            raise RuntimeError(f"job {job_id!r} failed: {record.error}")
+        if record.state != "done":
+            raise ValueError(f"job {job_id!r} is {record.state}, not done")
+        envelope = self.registry.result(job_id)
+        if envelope is None:
+            raise RuntimeError(f"job {job_id!r} is done but its result file is missing")
+        return envelope["payload"]
+
+    def cancel(self, job_id: str) -> bool:
+        """Withdraw a still-queued job; False once a worker owns it."""
+        return self.registry.cancel(job_id)
+
+    def wait(
+        self, job_id: str, *, timeout: float = 60.0, poll_interval: float = 0.1
+    ) -> JobRecord:
+        """Block until the job leaves the queued/running states.
+
+        Convenience for tests and scripts; production clients poll
+        :meth:`status`.  Raises ``TimeoutError`` when the deadline passes.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            if record.state not in ("queued", "running"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id!r} still {record.state} after {timeout}s")
+            time.sleep(poll_interval)
+
+    def jobs(self, *, tenant: Optional[str] = None, state: Optional[str] = None) -> List[JobRecord]:
+        """Records of this (or any) tenant's jobs, oldest first."""
+        return self.registry.list_jobs(state=state, tenant=tenant)

@@ -1,0 +1,400 @@
+"""Job specs, records and the on-disk job registry of :mod:`repro.service`.
+
+Everything is plain JSON files under one *service root* directory, published
+with the same atomic temp-file + :func:`os.replace` discipline as the
+sharded store, so any number of client and worker processes can share a
+root without a broker:
+
+``jobs/<job_id>.json``
+    The :class:`JobRecord` (spec + lifecycle state + progress + telemetry).
+``leases/<job_id>.lease``
+    Exists while a worker owns the job.  Created with ``O_CREAT | O_EXCL``
+    (claiming is therefore atomic) and rewritten on every heartbeat with a
+    fresh timestamp; a lease whose heartbeat is older than
+    ``lease_ttl`` seconds marks a dead worker, and the takeover protocol
+    (rename the stale lease away, then re-create fresh) guarantees exactly
+    one of several contending workers reclaims the job.
+``results/<job_id>.json``
+    The finished job's payload plus its content digest.
+``cache/`` and ``artifacts/``
+    Two :class:`~repro.io.ShardedJsonStore` directories shared by every
+    worker: the evaluation cache (content-addressed, so hit rates compound
+    across tenants) and the pipeline/NSGA-II checkpoint store (what makes a
+    reclaimed job resume instead of restart).
+
+Job lifecycle: ``queued -> running -> done | failed``, plus ``cancelled``
+for jobs withdrawn before a worker claimed them.  A job whose worker died
+stays ``running`` with an expiring lease; :meth:`JobRegistry.claim` hands it
+to the next worker, which re-runs it with ``resume=True`` -- bit-identical
+to an uninterrupted run by the pipeline/NSGA-II checkpoint guarantees.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..engine.keys import blake_token
+from ..io.persistence import ShardedJsonStore
+
+__all__ = [
+    "JOB_STATES",
+    "JobSpec",
+    "JobRecord",
+    "JobRegistry",
+    "payload_digest",
+]
+
+PathLike = Union[str, Path]
+
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+def payload_digest(payload: object) -> str:
+    """Canonical content digest of a JSON-serialisable result payload.
+
+    Key order is normalised, so two payloads are equal iff their digests
+    are -- this is what the crash-resume tests and benchmarks compare
+    between interrupted and uninterrupted runs.
+    """
+    return blake_token(json.dumps(payload, sort_keys=True))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What to run: a registered flow plus its JSON parameters.
+
+    ``tenant`` identifies who submitted the job for accounting; it is
+    deliberately *not* part of :meth:`token`, because evaluations are
+    content-addressed -- two tenants submitting the same work must share
+    cache entries, which is the whole amortisation argument of the service.
+    """
+
+    flow: str
+    params: Dict[str, object] = field(default_factory=dict)
+    tenant: str = "default"
+
+    def token(self) -> str:
+        """Content digest of the work itself (flow + parameters)."""
+        return blake_token("job", self.flow, json.dumps(self.params, sort_keys=True))
+
+    def as_dict(self) -> dict:
+        return {"flow": self.flow, "params": dict(self.params), "tenant": self.tenant}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "JobSpec":
+        return cls(
+            flow=str(raw["flow"]),
+            params=dict(raw.get("params") or {}),
+            tenant=str(raw.get("tenant", "default")),
+        )
+
+
+@dataclass
+class JobRecord:
+    """One job's full lifecycle state as stored in ``jobs/<job_id>.json``."""
+
+    job_id: str
+    spec: JobSpec
+    state: str = "queued"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attempts: int = 0
+    worker: Optional[str] = None
+    progress: Optional[dict] = None
+    """Latest pipeline stage event (stage/index/total/status) the worker saw."""
+    resumed_stages: List[str] = field(default_factory=list)
+    """Stages restored from checkpoints during the (last) execution."""
+    error: Optional[str] = None
+    digest: Optional[str] = None
+    """Content digest of the result payload (see :func:`payload_digest`)."""
+    cache: Optional[dict] = None
+    """Per-job delta of the shared cache counters (``CacheStats.since``):
+    the tenant-attributable hit-rate telemetry of this job."""
+    elapsed_s: Optional[float] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "spec": self.spec.as_dict(),
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "progress": self.progress,
+            "resumed_stages": list(self.resumed_stages),
+            "error": self.error,
+            "digest": self.digest,
+            "cache": self.cache,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "JobRecord":
+        return cls(
+            job_id=str(raw["job_id"]),
+            spec=JobSpec.from_dict(raw["spec"]),
+            state=str(raw.get("state", "queued")),
+            submitted_at=float(raw.get("submitted_at", 0.0)),
+            started_at=raw.get("started_at"),
+            finished_at=raw.get("finished_at"),
+            attempts=int(raw.get("attempts", 0)),
+            worker=raw.get("worker"),
+            progress=raw.get("progress"),
+            resumed_stages=list(raw.get("resumed_stages") or []),
+            error=raw.get("error"),
+            digest=raw.get("digest"),
+            cache=raw.get("cache"),
+            elapsed_s=raw.get("elapsed_s"),
+        )
+
+
+class JobRegistry:
+    """The shared on-disk job queue rooted at one service directory.
+
+    Parameters
+    ----------
+    root:
+        Service root directory; created on first use.  Everything --
+        records, leases, results, the shared caches -- lives under it.
+    lease_ttl:
+        Seconds without a heartbeat after which a running job's worker is
+        presumed dead and the job becomes reclaimable.
+    shards:
+        Shard count of the shared cache/artifact stores handed out by
+        :meth:`cache_store` / :meth:`artifact_store`.
+    """
+
+    def __init__(self, root: PathLike, *, lease_ttl: float = 60.0, shards: int = 16):
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        self.root = Path(root)
+        self.lease_ttl = float(lease_ttl)
+        self.shards = int(shards)
+        self.jobs_dir = self.root / "jobs"
+        self.leases_dir = self.root / "leases"
+        self.results_dir = self.root / "results"
+        for directory in (self.jobs_dir, self.leases_dir, self.results_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Shared stores
+    # ------------------------------------------------------------------ #
+    def cache_store(self) -> ShardedJsonStore:
+        """The shared content-addressed evaluation-cache backend."""
+        return ShardedJsonStore(self.root / "cache", shards=self.shards)
+
+    def artifact_store(self) -> ShardedJsonStore:
+        """The shared pipeline/NSGA-II checkpoint store."""
+        return ShardedJsonStore(self.root / "artifacts", shards=self.shards)
+
+    # ------------------------------------------------------------------ #
+    # Records
+    # ------------------------------------------------------------------ #
+    def _record_path(self, job_id: str) -> Path:
+        if not job_id or "/" in job_id or job_id.startswith("."):
+            raise ValueError(f"invalid job id {job_id!r}")
+        return self.jobs_dir / f"{job_id}.json"
+
+    def submit(self, spec: JobSpec, *, job_id: Optional[str] = None) -> JobRecord:
+        """Enqueue a job and return its record.
+
+        The default id embeds the spec's content token (legible dedupe aid)
+        plus a unique suffix, so identical work submitted twice still gets
+        two independent jobs -- whose evaluations nevertheless collapse in
+        the shared content-addressed cache.
+        """
+        if job_id is None:
+            job_id = f"{spec.flow}-{spec.token()[:10]}-{uuid.uuid4().hex[:6]}"
+        path = self._record_path(job_id)
+        if path.exists():
+            raise ValueError(f"job id {job_id!r} already exists")
+        record = JobRecord(job_id=job_id, spec=spec, state="queued", submitted_at=time.time())
+        self._write_record(record)
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        path = self._record_path(job_id)
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise KeyError(f"unknown job {job_id!r}") from None
+        return JobRecord.from_dict(raw)
+
+    def update(self, record: JobRecord) -> None:
+        """Atomically publish a record (last writer wins)."""
+        self._write_record(record)
+
+    def _write_record(self, record: JobRecord) -> None:
+        ShardedJsonStore._atomic_write(
+            self._record_path(record.job_id), json.dumps(record.as_dict(), indent=2)
+        )
+
+    def list_jobs(
+        self, state: Optional[str] = None, tenant: Optional[str] = None
+    ) -> List[JobRecord]:
+        """All job records, oldest submission first, optionally filtered."""
+        records = []
+        for path in self.jobs_dir.glob("*.json"):
+            try:
+                records.append(JobRecord.from_dict(json.loads(path.read_text(encoding="utf-8"))))
+            except (OSError, json.JSONDecodeError, KeyError):
+                continue
+        records.sort(key=lambda record: (record.submitted_at, record.job_id))
+        if state is not None:
+            records = [record for record in records if record.state == state]
+        if tenant is not None:
+            records = [record for record in records if record.spec.tenant == tenant]
+        return records
+
+    def cancel(self, job_id: str) -> bool:
+        """Withdraw a queued job; returns whether it was cancelled.
+
+        Only queued jobs can be cancelled -- a running worker holds the
+        lease and owns the record.  (The race window between the state read
+        and a concurrent claim is closed by the worker: it re-reads the
+        record after acquiring the lease and releases cancelled jobs.)
+        """
+        record = self.get(job_id)
+        if record.state != "queued":
+            return False
+        record.state = "cancelled"
+        record.finished_at = time.time()
+        self.update(record)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Leases
+    # ------------------------------------------------------------------ #
+    def _lease_path(self, job_id: str) -> Path:
+        return self.leases_dir / f"{job_id}.lease"
+
+    def lease_info(self, job_id: str) -> Optional[dict]:
+        """The current lease (worker + heartbeat), or ``None`` if unleased."""
+        try:
+            return json.loads(self._lease_path(job_id).read_text(encoding="utf-8"))
+        except (FileNotFoundError, OSError, json.JSONDecodeError):
+            return None
+
+    def lease_expired(self, job_id: str) -> bool:
+        """Whether the job's lease heartbeat is older than ``lease_ttl``."""
+        info = self.lease_info(job_id)
+        if info is None:
+            return True
+        return (time.time() - float(info.get("heartbeat", 0.0))) > self.lease_ttl
+
+    def _try_acquire_lease(self, job_id: str, worker_id: str) -> bool:
+        """Create the lease file atomically; False when someone holds it."""
+        path = self._lease_path(job_id)
+        payload = json.dumps({"worker": worker_id, "heartbeat": time.time()})
+        try:
+            descriptor = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(descriptor, payload.encode("utf-8"))
+        finally:
+            os.close(descriptor)
+        return True
+
+    def _try_takeover_lease(self, job_id: str, worker_id: str) -> bool:
+        """Steal an *expired* lease; exactly one contender wins.
+
+        The stale lease file is renamed away first -- :func:`os.rename` of
+        one source succeeds for exactly one of several racing processes --
+        and the winner re-creates a fresh lease via the exclusive-create
+        path.
+        """
+        path = self._lease_path(job_id)
+        stale = path.with_name(f"{path.name}.stale.{uuid.uuid4().hex[:8]}")
+        try:
+            os.rename(path, stale)
+        except FileNotFoundError:
+            # Someone else renamed it away (or it was released); fall through
+            # to a plain acquire attempt on the now-missing file.
+            pass
+        else:
+            stale.unlink(missing_ok=True)
+        return self._try_acquire_lease(job_id, worker_id)
+
+    def heartbeat(self, job_id: str, worker_id: str) -> None:
+        """Refresh the lease timestamp; raises if the lease changed hands."""
+        info = self.lease_info(job_id)
+        if info is None or info.get("worker") != worker_id:
+            raise RuntimeError(
+                f"lease for job {job_id!r} is no longer held by {worker_id!r} "
+                f"(current: {info})"
+            )
+        ShardedJsonStore._atomic_write(
+            self._lease_path(job_id),
+            json.dumps({"worker": worker_id, "heartbeat": time.time()}),
+        )
+
+    def release(self, job_id: str) -> None:
+        self._lease_path(job_id).unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Claiming
+    # ------------------------------------------------------------------ #
+    def claim(self, worker_id: str) -> Optional[JobRecord]:
+        """Claim the next runnable job for ``worker_id``, or ``None``.
+
+        Queued jobs are claimed oldest-first via exclusive lease creation;
+        when none are queued, ``running`` jobs whose lease has expired (dead
+        worker) are reclaimed via the takeover protocol.  The returned
+        record is already marked ``running`` with this worker and a fresh
+        heartbeat; ``attempts > 1`` tells the caller this is a resumption.
+        """
+        for record in self.list_jobs(state="queued"):
+            if not self._try_acquire_lease(record.job_id, worker_id):
+                continue
+            return self._start(record.job_id, worker_id)
+        for record in self.list_jobs(state="running"):
+            if not self.lease_expired(record.job_id):
+                continue
+            if not self._try_takeover_lease(record.job_id, worker_id):
+                continue
+            return self._start(record.job_id, worker_id)
+        return None
+
+    def _start(self, job_id: str, worker_id: str) -> Optional[JobRecord]:
+        """Post-lease bookkeeping: re-read, verify runnable, mark running."""
+        record = self.get(job_id)
+        if record.state not in ("queued", "running"):
+            # Cancelled (or already finished) between listing and leasing.
+            self.release(job_id)
+            return None
+        record.state = "running"
+        record.worker = worker_id
+        record.started_at = time.time()
+        record.attempts += 1
+        record.error = None
+        self.update(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def _result_path(self, job_id: str) -> Path:
+        return self.results_dir / f"{job_id}.json"
+
+    def store_result(self, job_id: str, payload: object, digest: str) -> None:
+        ShardedJsonStore._atomic_write(
+            self._result_path(job_id),
+            json.dumps({"job_id": job_id, "digest": digest, "payload": payload}),
+        )
+
+    def result(self, job_id: str) -> Optional[dict]:
+        """The stored ``{"digest", "payload"}`` envelope, or ``None``."""
+        try:
+            return json.loads(self._result_path(job_id).read_text(encoding="utf-8"))
+        except (FileNotFoundError, OSError, json.JSONDecodeError):
+            return None

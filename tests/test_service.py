@@ -1,0 +1,417 @@
+"""Service-layer suite: sharded store, job registry, workers, crash-resume.
+
+Covers the three load-bearing guarantees of :mod:`repro.service`:
+
+* the sharded store is **concurrency-safe**: atomic publication, corrupt
+  entries degrade to misses (counted + logged once), and a multi-process
+  stress test sees zero corrupt reads, zero lost writes and a 100%
+  warm-repeat hit rate;
+* the job registry's **lease protocol** hands each job to exactly one
+  worker, and expired leases (dead workers) are reclaimed by exactly one
+  contender;
+* a **killed worker loses no work**: a job reclaimed after its worker died
+  mid-stage or mid-generation resumes from the last checkpoint and
+  finishes with a payload digest bit-identical to an uninterrupted run.
+
+Run alone with ``pytest -m service``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.engine import EvalCache
+from repro.io import JsonDirectoryStore, ShardedJsonStore
+from repro.registry import RegistryError
+from repro.service import (
+    JOB_FLOWS,
+    JobClient,
+    JobRegistry,
+    JobSpec,
+    Worker,
+    payload_digest,
+)
+
+pytestmark = pytest.mark.service
+
+# Small enough for sub-second end-to-end jobs; shared by every worker test
+# so their evaluations collapse in per-test-root caches predictably.
+TINY_AUTOAX = {
+    "parameters": ["area"],
+    "num_training_samples": 6,
+    "num_random_baseline": 4,
+    "hill_climb_iterations": 30,
+    "image_size": 16,
+    "multiplier_bits": 4,
+    "multiplier_library_size": 16,
+    "num_multipliers": 4,
+    "adder_bits": 8,
+    "adder_library_size": 12,
+    "num_adders": 3,
+}
+
+
+# --------------------------------------------------------------------- #
+# Sharded store semantics
+# --------------------------------------------------------------------- #
+class TestShardedJsonStore:
+    def test_roundtrip_and_shard_layout(self, tmp_path):
+        store = ShardedJsonStore(tmp_path / "s", shards=8)
+        for index in range(40):
+            store.put(f"key-{index}", {"value": index})
+        assert len(store) == 40
+        assert store.get("key-7") == {"value": 7}
+        assert store.get("missing") is None
+        # Entries are spread over hex-named shard subdirectories.
+        shard_dirs = [p for p in (tmp_path / "s").iterdir() if p.is_dir()]
+        assert 1 < len(shard_dirs) <= 8
+        assert all(len(p.name) == 4 for p in shard_dirs)
+
+    def test_flat_layout_is_json_directory_store_compatible(self, tmp_path):
+        # JsonDirectoryStore is now a shards=1 wrapper; a directory written
+        # by one must be readable by the other (historical warm caches).
+        legacy = JsonDirectoryStore(tmp_path / "flat")
+        legacy.put("alpha", [1, 2, 3])
+        reopened = ShardedJsonStore(tmp_path / "flat", shards=1)
+        assert reopened.get("alpha") == [1, 2, 3]
+        reopened.put("beta", {"x": 1})
+        assert JsonDirectoryStore(tmp_path / "flat").get("beta") == {"x": 1}
+        # Flat layout keeps entries directly in the directory.
+        assert not any(p.is_dir() for p in (tmp_path / "flat").iterdir())
+
+    def test_shard_count_mismatch_raises(self, tmp_path):
+        ShardedJsonStore(tmp_path / "s", shards=4).put("k", 1)
+        with pytest.raises(ValueError, match="shard"):
+            ShardedJsonStore(tmp_path / "s", shards=8)
+
+    def test_invalid_shard_count_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedJsonStore(tmp_path / "s", shards=0)
+
+    def test_overwrite_is_atomic_and_leaves_no_temp_files(self, tmp_path):
+        store = ShardedJsonStore(tmp_path / "s", shards=4)
+        for round_number in range(3):
+            store.put("key", {"round": round_number})
+        assert store.get("key") == {"round": 2}
+        assert len(store) == 1
+        leftovers = [p for p in (tmp_path / "s").rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_corrupt_entry_is_a_counted_miss_logged_once(self, tmp_path, caplog):
+        store = ShardedJsonStore(tmp_path / "s", shards=2)
+        store.put("first", 1)
+        store.put("second", 2)
+        for entry in (tmp_path / "s").rglob("*.json"):
+            entry.write_text("{not json", encoding="utf-8")
+        with caplog.at_level("WARNING", logger="repro.io"):
+            assert store.get("first") is None
+            assert store.get("second") is None
+        assert store.corrupt_count == 2
+        # Logged once per store instance, not once per corrupt entry.
+        warnings = [r for r in caplog.records if "corrupt" in r.getMessage().lower()]
+        assert len(warnings) == 1
+        # Healthy writes keep working after corruption.
+        store.put("first", 10)
+        assert store.get("first") == 10
+
+    def test_keys_clear_contains(self, tmp_path):
+        store = ShardedJsonStore(tmp_path / "s", shards=4)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert "a" in store and "zzz" not in store
+        assert sorted(store.keys()) == ["a", "b"]
+        store.clear()
+        assert len(store) == 0
+
+
+class TestCacheCorruptTelemetry:
+    def test_eval_cache_surfaces_corrupt_counter(self, tmp_path):
+        store = ShardedJsonStore(tmp_path / "cache", shards=2)
+        cache = EvalCache(capacity=4, store=store)
+        cache.put("key", {"v": 1})
+        for entry in (tmp_path / "cache").rglob("*.json"):
+            entry.write_text("garbage", encoding="utf-8")
+        cache.clear()  # drop the memory layer, force the disk read
+        assert cache.get("key") is None
+        stats = cache.stats()
+        assert stats.corrupt == 1
+        assert stats.misses == 1
+        assert stats.as_dict()["corrupt"] == 1
+        # The delta view propagates the counter too.
+        assert cache.stats().since(stats).corrupt == 0
+
+
+# --------------------------------------------------------------------- #
+# Registry: records, leases, claims
+# --------------------------------------------------------------------- #
+class TestJobRegistry:
+    def test_submit_get_list_cancel(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        record = registry.submit(JobSpec(flow="autoax", params={"seed": 1}, tenant="alice"))
+        assert record.state == "queued"
+        assert registry.get(record.job_id).spec.tenant == "alice"
+        registry.submit(JobSpec(flow="autoax", tenant="bob"), job_id="bobs-job")
+        assert [r.spec.tenant for r in registry.list_jobs(tenant="alice")] == ["alice"]
+        assert len(registry.list_jobs(state="queued")) == 2
+        assert registry.cancel("bobs-job") is True
+        assert registry.get("bobs-job").state == "cancelled"
+        assert registry.cancel("bobs-job") is False  # only queued jobs cancel
+
+    def test_duplicate_and_invalid_job_ids_raise(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        registry.submit(JobSpec(flow="autoax"), job_id="job-1")
+        with pytest.raises(ValueError, match="already exists"):
+            registry.submit(JobSpec(flow="autoax"), job_id="job-1")
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(ValueError):
+                registry.submit(JobSpec(flow="autoax"), job_id=bad)
+        with pytest.raises(KeyError):
+            registry.get("never-submitted")
+
+    def test_spec_token_ignores_tenant(self):
+        # Content addressing: identical work from different tenants must
+        # collapse onto the same cache entries.
+        alice = JobSpec(flow="autoax", params={"seed": 3}, tenant="alice")
+        bob = JobSpec(flow="autoax", params={"seed": 3}, tenant="bob")
+        other = JobSpec(flow="autoax", params={"seed": 4}, tenant="alice")
+        assert alice.token() == bob.token()
+        assert alice.token() != other.token()
+
+    def test_claim_is_exclusive(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        registry.submit(JobSpec(flow="autoax"), job_id="only")
+        first = registry.claim("worker-a")
+        assert first is not None and first.state == "running" and first.attempts == 1
+        assert registry.claim("worker-b") is None  # lease held, nothing queued
+
+    def test_expired_lease_is_reclaimed_exactly_once(self, tmp_path):
+        registry = JobRegistry(tmp_path, lease_ttl=0.05)
+        registry.submit(JobSpec(flow="autoax"), job_id="orphan")
+        assert registry.claim("worker-a").job_id == "orphan"
+        time.sleep(0.1)  # worker-a "dies": no heartbeats, lease expires
+        assert registry.lease_expired("orphan")
+        reclaimed = registry.claim("worker-b")
+        assert reclaimed.job_id == "orphan"
+        assert reclaimed.attempts == 2
+        assert registry.lease_info("orphan")["worker"] == "worker-b"
+        # worker-a's stale credentials are now rejected.
+        with pytest.raises(RuntimeError, match="no longer held"):
+            registry.heartbeat("orphan", "worker-a")
+        registry.heartbeat("orphan", "worker-b")  # owner renews fine
+
+    def test_claim_skips_cancelled_jobs(self, tmp_path):
+        registry = JobRegistry(tmp_path)
+        registry.submit(JobSpec(flow="autoax"), job_id="gone")
+        registry.cancel("gone")
+        assert registry.claim("worker-a") is None
+        assert registry.lease_info("gone") is None  # no lease left behind
+
+
+# --------------------------------------------------------------------- #
+# Client + worker end to end
+# --------------------------------------------------------------------- #
+class TestClientAndWorker:
+    def test_submit_rejects_unknown_flow(self, tmp_path):
+        with pytest.raises(RegistryError):
+            JobClient(tmp_path).submit("no-such-flow", {})
+
+    def test_result_state_errors(self, tmp_path):
+        client = JobClient(tmp_path)
+        job_id = client.submit("autoax", TINY_AUTOAX)
+        with pytest.raises(ValueError, match="queued"):
+            client.result(job_id)
+
+    def test_tiny_autoax_job_end_to_end(self, tmp_path):
+        client = JobClient(tmp_path, tenant="alice")
+        job_id = client.submit("autoax", TINY_AUTOAX)
+        record = Worker(tmp_path, engine_mode="serial").run_once()
+        assert record.job_id == job_id
+        assert record.state == "done"
+        assert record.digest == payload_digest(client.result(job_id))
+        assert record.worker and record.elapsed_s > 0
+        # Per-stage progress reached the record, and per-job cache telemetry
+        # is the delta attributable to this job.
+        assert record.progress["status"] == "completed"
+        assert record.cache["misses"] > 0 and record.cache["corrupt"] == 0
+        assert client.status(job_id).state == "done"
+        payload = client.result(job_id)
+        assert payload["flow"] == "autoax"
+        assert payload["scenarios"]["area"]["front"]
+
+    def test_failed_flow_marks_job_failed_and_releases_lease(self, tmp_path):
+        if "always-fails" not in JOB_FLOWS:
+            @JOB_FLOWS.register("always-fails")
+            def _always_fails(session, params, *, run_id, progress=None, on_generation=None):
+                raise RuntimeError("intentional test failure")
+
+        client = JobClient(tmp_path)
+        job_id = client.submit("always-fails", {})
+        record = Worker(tmp_path, engine_mode="serial").run_once()
+        assert record.state == "failed"
+        assert "intentional test failure" in record.error
+        assert client.registry.lease_info(job_id) is None  # released, not leaked
+        with pytest.raises(RuntimeError, match="intentional"):
+            client.result(job_id)
+
+    def test_worker_rejects_cache_store_overrides(self, tmp_path):
+        with pytest.raises(ValueError, match="owned by the registry"):
+            Worker(tmp_path, cache=object())
+
+    def test_worker_cli_once(self, tmp_path, capsys):
+        from repro.service import worker as worker_module
+
+        JobClient(tmp_path).submit("autoax", TINY_AUTOAX)
+        assert worker_module.main(["--root", str(tmp_path), "--once"]) == 0
+        assert "-> done" in capsys.readouterr().out
+        # Idle queue: --once reports idle and still exits cleanly.
+        assert worker_module.main(["--root", str(tmp_path), "--once"]) == 0
+        assert "idle" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------- #
+# Crash-resume: a dead worker's job finishes bit-identically
+# --------------------------------------------------------------------- #
+class KilledAfterStage(Worker):
+    """Dies (BaseException, as a real SIGKILL would strand state) right
+    after a named pipeline stage completes."""
+
+    def __init__(self, *args, kill_after: str, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.kill_after = kill_after
+
+    def _heartbeat(self, record):
+        super()._heartbeat(record)
+        progress = record.progress or {}
+        if progress.get("stage") == self.kill_after and progress.get("status") == "completed":
+            raise KeyboardInterrupt("simulated worker death")
+
+
+class KilledMidGeneration(Worker):
+    """Dies mid-search, after the NSGA-II generation-checkpoint heartbeat
+    has fired ``generations`` times inside the scenario stage."""
+
+    def __init__(self, *args, generations: int, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.generations = generations
+        self.generation_beats = 0
+
+    def _heartbeat(self, record):
+        super()._heartbeat(record)
+        progress = record.progress or {}
+        if progress.get("status") == "started" and progress.get("stage", "").startswith(
+            "scenario-"
+        ):
+            self.generation_beats += 1
+            if self.generation_beats >= self.generations:
+                raise KeyboardInterrupt("simulated worker death mid-generation")
+
+
+def _run_reference(tmp_path, params) -> str:
+    """Digest of the same job run uninterrupted in a pristine root."""
+    registry = JobRegistry(tmp_path / "reference")
+    JobClient(registry).submit("autoax", params, job_id="reference")
+    record = Worker(registry, engine_mode="serial").run_once()
+    assert record.state == "done"
+    return record.digest
+
+
+class TestCrashResume:
+    def test_kill_after_stage_then_resume_is_bit_identical(self, tmp_path):
+        reference_digest = _run_reference(tmp_path, TINY_AUTOAX)
+
+        registry = JobRegistry(tmp_path / "service", lease_ttl=0.05)
+        JobClient(registry).submit("autoax", TINY_AUTOAX, job_id="victim")
+        killer = KilledAfterStage(registry, engine_mode="serial", kill_after="collect-samples")
+        with pytest.raises(KeyboardInterrupt):
+            killer.run_once()
+
+        # The dying worker marked nothing: the job is still running with a
+        # lease that will expire, exactly like a SIGKILLed process.
+        assert registry.get("victim").state == "running"
+        assert registry.lease_info("victim") is not None
+        time.sleep(0.1)
+
+        record = Worker(registry, engine_mode="serial").run_once()
+        assert record.job_id == "victim"
+        assert record.state == "done"
+        assert record.attempts == 2
+        assert "collect-samples" in record.resumed_stages
+        assert record.digest == reference_digest
+
+    def test_kill_mid_generation_then_resume_is_bit_identical(self, tmp_path):
+        params = dict(TINY_AUTOAX, search_strategy="nsga2")
+        reference_digest = _run_reference(tmp_path, params)
+
+        registry = JobRegistry(tmp_path / "service", lease_ttl=0.05)
+        JobClient(registry).submit("autoax", params, job_id="victim")
+        killer = KilledMidGeneration(registry, engine_mode="serial", generations=3)
+        with pytest.raises(KeyboardInterrupt):
+            killer.run_once()
+        assert killer.generation_beats == 3
+        assert registry.get("victim").state == "running"
+        time.sleep(0.1)
+
+        record = Worker(registry, engine_mode="serial").run_once()
+        assert record.state == "done"
+        assert record.attempts == 2
+        # Earlier stages restore from pipeline checkpoints; the interrupted
+        # search stage itself resumes from its NSGA-II generation checkpoints.
+        assert "collect-samples" in record.resumed_stages
+        assert record.digest == reference_digest
+
+
+# --------------------------------------------------------------------- #
+# Multi-process stress: one sharded store, many writers
+# --------------------------------------------------------------------- #
+def _expected_value(key: str) -> dict:
+    """Deterministic key-derived value: any mixup is detectable as a
+    corrupt read even when another process wrote the entry."""
+    return {"key": key, "payload": [ord(ch) for ch in key]}
+
+
+def _hammer_store(arguments) -> dict:
+    """Worker-process body: interleave writes and reads of overlapping keys."""
+    directory, worker_index, keys, rounds = arguments
+    store = ShardedJsonStore(directory, shards=8)
+    bad_reads = 0
+    for round_number in range(rounds):
+        for offset, key in enumerate(keys):
+            if (offset + round_number + worker_index) % 2 == 0:
+                store.put(key, _expected_value(key))
+            else:
+                value = store.get(key)
+                if value is not None and value != _expected_value(key):
+                    bad_reads += 1
+    return {"bad_reads": bad_reads, "corrupt": store.corrupt_count}
+
+
+class TestMultiProcessStress:
+    def test_concurrent_writers_never_corrupt_or_lose_entries(self, tmp_path):
+        directory = str(tmp_path / "shared")
+        keys = [f"stress-key-{index:03d}" for index in range(60)]
+        workers = 4
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(
+                pool.map(
+                    _hammer_store,
+                    [(directory, index, keys, 6) for index in range(workers)],
+                )
+            )
+        # Zero torn or mixed-up reads, zero decode failures, in any process.
+        assert sum(o["bad_reads"] for o in outcomes) == 0
+        assert sum(o["corrupt"] for o in outcomes) == 0
+
+        # Zero lost writes + 100% warm-repeat hit rate: every key every
+        # process fought over is present, intact and a hit afterwards.
+        store = ShardedJsonStore(directory, shards=8)
+        cache = EvalCache(capacity=len(keys), store=store)
+        for key in keys:
+            assert cache.get(key) == _expected_value(key)
+        stats = cache.stats()
+        assert stats.misses == 0 and stats.corrupt == 0
+        assert stats.hit_rate == 1.0
+        assert len(store) == len(keys)
