@@ -1,0 +1,237 @@
+"""Multi-fidelity search benchmark: sh_ehvi vs NSGA-II at half the budget.
+
+The multi-fidelity argument in numbers, recorded to
+``BENCH_multifidelity.json``: on the seeded AutoAx Gaussian-filter scenario
+(8x8 multiplier / 16-bit adder components, ``area`` vs SSIM), the
+EHVI-screened successive-halving strategy must reach **>= 95% of NSGA-II's
+final-front hypervolume** (shared reference point) while spending **<= 50%
+of its exact-evaluation pattern budget**:
+
+* NSGA-II's exact budget is its final front exactly evaluated at full
+  fidelity (``front size x total pixels``);
+* sh_ehvi's is the realised pattern total over every rung of its ladder --
+  the cheap 8x8-crop screen plus the full-fidelity survivors -- as
+  reported by the strategy's ``telemetry["exact_pattern_budget"]``.
+
+Both strategies are seeded and deterministic, so the measured ratios are
+reproducible bit for bit; the committed ``baseline`` section of the JSON
+pins them, and a run that degrades hypervolume-per-budget against that
+baseline beyond a small float-drift tolerance fails (CI runs this gate).
+
+Set ``REPRO_BENCH_QUICK=1`` (the CI jobs do) to shrink the surrogate
+budget; both gates are asserted in both modes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.autoax import (
+    GaussianFilterAccelerator,
+    HwCostEstimator,
+    QorEstimator,
+    collect_training_samples,
+    components_from_library,
+    default_image_set,
+)
+from repro.autoax.search import SEARCH_STRATEGIES
+from repro.core.pareto import hypervolume_2d
+from repro.engine import BatchEvaluator, EvalCache
+from repro.generators import build_adder_library, build_multiplier_library
+
+pytestmark = pytest.mark.multifidelity
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+ITERATIONS = 300 if QUICK else 1500
+POPULATION = 32
+ARCHIVE_LIMIT = 16
+SEED = 23
+
+#: The acceptance gates: hypervolume parity and budget advantage.
+HYPERVOLUME_FLOOR = 0.95
+BUDGET_CEILING = 0.5
+
+#: Allowed drift of the deterministic ratios against the committed baseline
+#: (different BLAS/numpy builds move SSIM in the last ulps).
+BASELINE_TOLERANCE = 0.02
+
+BENCH_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_multifidelity.json"
+
+#: sh_ehvi knobs behind the recorded numbers: one 96-pixel screening rung
+#: (an 8x8 centre crop of each input), 16 screened candidates, 7 promoted
+#: to full fidelity -- 16*192 + 7*3072 = 24576 patterns, exactly half of
+#: NSGA-II's 16 * 3072.
+SH_KNOBS = dict(
+    initial_cohort=16,
+    eta=2.5,
+    min_survivors=4,
+    fidelity_ladder=(96,),
+)
+
+
+def _record_section(section: str, payload: dict) -> None:
+    """Merge one benchmark section into ``BENCH_multifidelity.json``."""
+    try:
+        document = json.loads(BENCH_JSON_PATH.read_text(encoding="utf-8"))
+    except (FileNotFoundError, json.JSONDecodeError):
+        document = {"benchmark": "multifidelity"}
+    document["quick"] = QUICK
+    document["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    document[section] = payload
+    BENCH_JSON_PATH.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {BENCH_JSON_PATH} [{section}]")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Accelerator + fitted estimators of the seeded benchmark scenario."""
+    from types import SimpleNamespace
+
+    multipliers = components_from_library(
+        build_multiplier_library(8, size=30, seed=2), 6, max_error=0.1
+    )
+    adders = components_from_library(
+        build_adder_library(16, size=24, seed=4), 5, max_error=0.02
+    )
+    accelerator = GaussianFilterAccelerator(multipliers, adders)
+    images = default_image_set(32)[:3]
+    samples = collect_training_samples(
+        accelerator,
+        images,
+        40,
+        seed=17,
+        engine=BatchEvaluator(cache=EvalCache(), mode="serial"),
+    )
+    return SimpleNamespace(
+        accelerator=accelerator,
+        images=images,
+        qor=QorEstimator().fit(samples),
+        hw=HwCostEstimator("area").fit(samples),
+    )
+
+
+def _points(entries) -> np.ndarray:
+    return np.array([[entry.cost["area"], 1.0 - entry.quality] for entry in entries])
+
+
+def test_sh_ehvi_matches_nsga2_hypervolume_at_half_the_exact_budget(benchmark, workload):
+    accelerator, images = workload.accelerator, workload.images
+    full_patterns = sum(image.size for image in images)
+
+    def run_both():
+        timings = {}
+
+        start = time.perf_counter()
+        nsga = SEARCH_STRATEGIES.get("nsga2")(
+            accelerator, workload.qor, workload.hw,
+            iterations=ITERATIONS, archive_limit=ARCHIVE_LIMIT, seed=SEED,
+            population_size=POPULATION, images=images,
+            engine=BatchEvaluator(cache=EvalCache(), mode="serial"),
+        )
+        timings["nsga2_s"] = time.perf_counter() - start
+
+        telemetry = {}
+        start = time.perf_counter()
+        sh = SEARCH_STRATEGIES.get("sh_ehvi")(
+            accelerator, workload.qor, workload.hw,
+            iterations=ITERATIONS, archive_limit=ARCHIVE_LIMIT, seed=SEED,
+            images=images, engine=BatchEvaluator(cache=EvalCache(), mode="serial"),
+            telemetry=telemetry, **SH_KNOBS,
+        )
+        timings["sh_ehvi_s"] = time.perf_counter() - start
+        return timings, nsga, sh, telemetry
+
+    timings, nsga, sh, telemetry = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    # Both fronts carry exact measurements (a real SSIM, a composed cost).
+    for entry in list(nsga) + list(sh):
+        assert 0.0 <= entry.quality <= 1.0
+        assert set(entry.cost) == {"area", "power", "latency"}
+
+    # --- budgets ---------------------------------------------------------- #
+    nsga_budget = len(nsga) * full_patterns
+    sh_budget = telemetry["exact_pattern_budget"]
+    budget_ratio = sh_budget / nsga_budget
+
+    # --- quality: hypervolume against a shared reference point ------------ #
+    combined = np.vstack([_points(nsga), _points(sh)])
+    reference = combined.max(axis=0) * 1.05 + 1e-9
+    hv_nsga = hypervolume_2d(_points(nsga), reference)
+    hv_sh = hypervolume_2d(_points(sh), reference)
+    hv_ratio = hv_sh / max(hv_nsga, 1e-12)
+
+    print("\n=== Multi-fidelity search: sh_ehvi vs NSGA-II ===")
+    print(f"budget: {ITERATIONS} surrogate evaluations, archive limit {ARCHIVE_LIMIT}")
+    print(f"{'nsga2 (exact front)':<26}{timings['nsga2_s'] * 1000:>10.1f} ms  "
+          f"front {len(nsga):>3}  hypervolume {hv_nsga:>10.2f}  "
+          f"patterns {nsga_budget:>8}")
+    print(f"{'sh_ehvi (ladder)':<26}{timings['sh_ehvi_s'] * 1000:>10.1f} ms  "
+          f"front {len(sh):>3}  hypervolume {hv_sh:>10.2f}  "
+          f"patterns {sh_budget:>8}")
+    for rung in telemetry["rungs"]:
+        print(f"  rung {rung['rung']}: {rung['evaluated']:>3} configs at "
+              f"{rung['patterns']:>5} patterns -> {rung['survivors']} survivors")
+    print(f"{'hypervolume ratio':<26}{hv_ratio:>10.3f}  (floor {HYPERVOLUME_FLOOR})")
+    print(f"{'exact-budget ratio':<26}{budget_ratio:>10.3f}  (ceiling {BUDGET_CEILING})")
+
+    section = {
+        "iterations": ITERATIONS,
+        "nsga2": {
+            "front": len(nsga),
+            "hypervolume": hv_nsga,
+            "pattern_budget": nsga_budget,
+            "elapsed_s": timings["nsga2_s"],
+        },
+        "sh_ehvi": {
+            "front": len(sh),
+            "hypervolume": hv_sh,
+            "pattern_budget": sh_budget,
+            "elapsed_s": timings["sh_ehvi_s"],
+            "rungs": telemetry["rungs"],
+            "knobs": {k: list(v) if isinstance(v, tuple) else v for k, v in SH_KNOBS.items()},
+        },
+        "hypervolume_ratio": hv_ratio,
+        "budget_ratio": budget_ratio,
+        "hypervolume_floor": HYPERVOLUME_FLOOR,
+        "budget_ceiling": BUDGET_CEILING,
+    }
+
+    # --- regression gate vs the committed baseline ------------------------ #
+    # The ratios are deterministic; the committed baseline pins them so a
+    # strategy change cannot silently trade hypervolume for budget.
+    baseline_key = "baseline_quick" if QUICK else "baseline"
+    try:
+        document = json.loads(BENCH_JSON_PATH.read_text(encoding="utf-8"))
+        baseline = document.get(baseline_key)
+    except (FileNotFoundError, json.JSONDecodeError):
+        baseline = None
+    if baseline is not None:
+        assert hv_ratio >= baseline["hypervolume_ratio"] - BASELINE_TOLERANCE, (
+            f"hypervolume ratio regressed: {hv_ratio:.3f} vs committed "
+            f"baseline {baseline['hypervolume_ratio']:.3f}"
+        )
+        assert budget_ratio <= baseline["budget_ratio"] + BASELINE_TOLERANCE, (
+            f"budget ratio regressed: {budget_ratio:.3f} vs committed "
+            f"baseline {baseline['budget_ratio']:.3f}"
+        )
+    else:
+        # First run in a pristine checkout: pin the measured ratios.
+        section_baseline = {"hypervolume_ratio": hv_ratio, "budget_ratio": budget_ratio}
+        _record_section(baseline_key, section_baseline)
+    _record_section("comparison_quick" if QUICK else "comparison", section)
+
+    # --- the acceptance gates --------------------------------------------- #
+    assert hv_ratio >= HYPERVOLUME_FLOOR, (
+        f"sh_ehvi hypervolume {hv_sh:.2f} is below {HYPERVOLUME_FLOOR:.0%} of "
+        f"NSGA-II's {hv_nsga:.2f} (ratio {hv_ratio:.3f})"
+    )
+    assert budget_ratio <= BUDGET_CEILING, (
+        f"sh_ehvi spent {sh_budget} exact patterns, more than "
+        f"{BUDGET_CEILING:.0%} of NSGA-II's {nsga_budget} (ratio {budget_ratio:.3f})"
+    )

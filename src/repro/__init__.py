@@ -10,8 +10,13 @@ The package is organised as the paper's system diagram (Fig. 2):
 * :mod:`repro.features` / :mod:`repro.ml` -- feature extraction and the Table I model zoo,
 * :mod:`repro.core` -- fidelity, Pareto machinery and the end-to-end flow,
 * :mod:`repro.engine` -- the parallel cached evaluation engine (see below),
-* :mod:`repro.search` -- the shared Pareto archive and the generic
-  resumable NSGA-II population search,
+* :mod:`repro.search` -- the shared Pareto archive, the generic
+  resumable NSGA-II population search, and
+  :mod:`repro.search.multifidelity`: EHVI acquisition over predictive
+  uncertainty plus a resumable successive-halving loop over an explicit
+  fidelity ladder (registered as ``SEARCH_STRATEGIES["sh_ehvi"]``; engine
+  cache keys are namespaced per fidelity rung, so cheap screens never
+  alias exhaustive results),
 * :mod:`repro.workloads` -- pluggable accelerator workloads (the
   ``WORKLOADS`` registry, the ``ApproxAccelerator`` protocol, quality
   metrics and seeded input sets),
@@ -115,7 +120,7 @@ from .core import ApproxFpgasConfig, ApproxFpgasFlow, run_approxfpgas
 from .engine import BatchEvaluator, EvalCache
 from .generators import CircuitLibrary, build_adder_library, build_multiplier_library
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "ApproxFpgasConfig",

@@ -12,7 +12,13 @@ This package is the recommended entry point for new code:
   :data:`SYNTHESIZERS`, :data:`WORKLOADS`, :data:`QUALITY_METRICS`,
   :data:`SEARCH_STRATEGIES`) through which new models, metrics,
   substrates, accelerator workloads and searches plug in without editing
-  flow internals.
+  flow internals;
+* the multi-fidelity search primitives
+  (:func:`expected_hypervolume_improvement`,
+  :func:`run_successive_halving`, :class:`SuccessiveHalvingConfig`,
+  :func:`default_fidelity_ladder`) for building custom
+  screen-cheap/promote-survivors searches outside the built-in
+  ``"sh_ehvi"`` strategy.
 
 The legacy entry points (:class:`repro.core.ApproxFpgasFlow`,
 :func:`repro.core.run_approxfpgas`, :class:`repro.autoax.AutoAxFpgaFlow`)
@@ -38,6 +44,13 @@ from .registries import (
     RegistryError,
     resolve_synthesizer,
 )
+from ..search import (
+    SuccessiveHalvingConfig,
+    SuccessiveHalvingResult,
+    default_fidelity_ladder,
+    expected_hypervolume_improvement,
+    run_successive_halving,
+)
 from .session import ExplorationSession
 
 __all__ = [
@@ -58,6 +71,11 @@ __all__ = [
     "QUALITY_METRICS",
     "SEARCH_STRATEGIES",
     "resolve_synthesizer",
+    "SuccessiveHalvingConfig",
+    "SuccessiveHalvingResult",
+    "default_fidelity_ladder",
+    "expected_hypervolume_improvement",
+    "run_successive_halving",
 ]
 
 

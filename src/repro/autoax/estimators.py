@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import uuid
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -152,6 +152,29 @@ def collect_training_samples(
     ]
 
 
+def _batch_with_std(
+    model: Regressor, features: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(mean, std) predictions, with zero std for uncertainty-free models.
+
+    Models exposing ``predict_with_std`` (Gaussian processes, forests,
+    their :class:`~repro.ml.ScaledRegressor` wrappers) report their own
+    predictive uncertainty; anything else is treated as deterministic.
+    Uncertainty-aware consumers (the EHVI acquisition in
+    :mod:`repro.search.multifidelity`) thus work with *any* estimator
+    model, degrading gracefully to point predictions.
+    """
+    with_std = getattr(model, "predict_with_std", None)
+    if with_std is not None:
+        mean, std = with_std(features)
+        return (
+            np.asarray(mean, dtype=np.float64).ravel(),
+            np.asarray(std, dtype=np.float64).ravel(),
+        )
+    mean = np.asarray(model.predict(features), dtype=np.float64).ravel()
+    return mean, np.zeros_like(mean)
+
+
 def _fresh_cache_token(prefix: str) -> str:
     """Globally unique token versioning one estimator state.
 
@@ -198,6 +221,19 @@ class QorEstimator:
             features = configuration_feature_matrix(accelerator, configs)
         return np.asarray(self.model.predict(features), dtype=np.float64)
 
+    def estimate_batch_with_std(
+        self,
+        accelerator: ApproxAccelerator,
+        configs: Sequence[SlotConfiguration],
+        features: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Population estimates with predictive uncertainty (see ``_batch_with_std``)."""
+        if not configs:
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.float64)
+        if features is None:
+            features = configuration_feature_matrix(accelerator, configs)
+        return _batch_with_std(self.model, features)
+
 
 class HwCostEstimator:
     """Estimates one FPGA cost parameter of a configuration."""
@@ -234,3 +270,16 @@ class HwCostEstimator:
         if features is None:
             features = configuration_feature_matrix(accelerator, configs)
         return np.asarray(self.model.predict(features), dtype=np.float64)
+
+    def estimate_batch_with_std(
+        self,
+        accelerator: ApproxAccelerator,
+        configs: Sequence[SlotConfiguration],
+        features: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Population estimates with predictive uncertainty (see ``_batch_with_std``)."""
+        if not configs:
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.float64)
+        if features is None:
+            features = configuration_feature_matrix(accelerator, configs)
+        return _batch_with_std(self.model, features)

@@ -48,12 +48,28 @@ class AutoAxConfig:
     accelerator case study the flow optimises (built-ins: ``"gaussian"``,
     ``"sobel"``, ``"sharpen"``).  The workload defines the datapath, the
     slot shape, the quality metric and the default seeded input set."""
+    fidelity_ladder: Optional[Sequence[int]] = None
+    """Ascending reduced-rung pixel budgets for multi-fidelity strategies
+    (``"sh_ehvi"``); each rung evaluates on a centre-cropped input set of
+    at most that many total pixels, and the full-fidelity rung is always
+    appended by the strategy.  ``None`` lets the strategy derive its
+    default geometric ladder; strategies without a ``fidelity_ladder``
+    parameter ignore the knob."""
 
     def __post_init__(self) -> None:
         if self.num_training_samples < 2:
             raise ValueError("num_training_samples must be at least 2")
         if self.num_random_baseline < 1:
             raise ValueError("num_random_baseline must be at least 1")
+        if self.fidelity_ladder is not None:
+            ladder = tuple(int(f) for f in self.fidelity_ladder)
+            if not ladder:
+                raise ValueError("fidelity_ladder must be None or a non-empty sequence")
+            if any(f < 1 for f in ladder):
+                raise ValueError("fidelity_ladder budgets must be positive pixel counts")
+            if any(b <= a for a, b in zip(ladder, ladder[1:])):
+                raise ValueError("fidelity_ladder budgets must be strictly ascending")
+            self.fidelity_ladder = ladder
         if self.search_strategy not in SEARCH_STRATEGIES:
             raise ValueError(
                 f"unknown search strategy {self.search_strategy!r}; "

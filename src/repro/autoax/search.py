@@ -43,10 +43,19 @@ from ..engine import (
     blake_token,
     cache_key,
     configuration_token,
+    images_token,
 )
 from ..registry import Registry
-from ..search import Nsga2Config, ParetoArchive, run_nsga2
-from ..workloads import ApproxAccelerator, SlotConfiguration
+from ..search import (
+    Nsga2Config,
+    ParetoArchive,
+    SuccessiveHalvingConfig,
+    default_fidelity_ladder,
+    expected_hypervolume_improvement,
+    run_nsga2,
+    run_successive_halving,
+)
+from ..workloads import ApproxAccelerator, SlotConfiguration, fidelity_inputs
 from .estimators import HwCostEstimator, QorEstimator
 
 #: Registry of configuration-space search strategies.  Each entry is a
@@ -480,6 +489,252 @@ def nsga2_pareto(
             )
         return exact_reevaluation(accelerator, images, candidates, cache=cache)
     return candidates
+
+
+def _fidelity_exact_evaluation(
+    accelerator: ApproxAccelerator,
+    images: Sequence[np.ndarray],
+    configs: Sequence[SlotConfiguration],
+    cache: Optional[EvalCache],
+    fidelity: Optional[int],
+) -> List[dict]:
+    """Serial counterpart of ``BatchEvaluator.evaluate_configurations(fidelity=...)``.
+
+    Applies the same centre-crop pixel budget and derives the same
+    fidelity-namespaced ``axq`` context, so serial (cache-only) and engine
+    paths share cache entries bit for bit at every rung -- including the
+    full-fidelity rung, which aliases plain exact evaluation.
+    """
+    reduced = False
+    if fidelity is not None:
+        images, reduced = fidelity_inputs(images, int(fidelity))
+    context = accelerator_context(
+        accelerator, images, fidelity=int(fidelity) if reduced else None
+    )
+    payloads = []
+    for config in configs:
+        entry = _through_cache(
+            cache,
+            "axq",
+            context,
+            config,
+            lambda config=config: (
+                accelerator.quality(images, config),
+                accelerator.hw_cost(config),
+            ),
+        )
+        payloads.append({"quality": entry.quality, "cost": dict(entry.cost)})
+    return payloads
+
+
+@SEARCH_STRATEGIES.register("sh_ehvi")
+def successive_halving_ehvi(
+    accelerator: ApproxAccelerator,
+    qor_estimator: QorEstimator,
+    hw_estimator: HwCostEstimator,
+    iterations: int = 400,
+    archive_limit: int = 64,
+    seed: int = 31,
+    cache: Optional[EvalCache] = None,
+    images: Optional[Sequence[np.ndarray]] = None,
+    engine: Optional["BatchEvaluator"] = None,  # noqa: F821
+    fidelity_ladder: Optional[Sequence[int]] = None,
+    initial_cohort: Optional[int] = None,
+    acquisition_pool: Optional[int] = None,
+    eta: float = 2.0,
+    min_survivors: int = 4,
+    mc_samples: int = 128,
+    store=None,
+    run_id: str = "sh-ehvi-search",
+    on_generation=None,
+    telemetry: Optional[dict] = None,
+) -> List[EvaluatedConfiguration]:
+    """EHVI-screened successive halving over an explicit fidelity ladder.
+
+    The multi-fidelity, uncertainty-aware strategy: instead of spending the
+    whole budget on exact evaluation (NSGA-II) or none of it (the
+    estimator-only strategies), it
+
+    1. **screens** an ``acquisition_pool`` of random configurations with the
+       estimators' predictive uncertainty (``estimate_batch_with_std``) and
+       greedily picks an ``initial_cohort`` by expected hypervolume
+       improvement (each pick's predicted mean joins the selection front
+       before the next pick -- the standard believer-style batch rule, fully
+       deterministic);
+    2. **runs successive halving** over the fidelity ladder: the cohort is
+       exactly evaluated at the cheapest rung (a total-pixel budget applied
+       by centre-cropping the inputs, see
+       :func:`repro.workloads.fidelity_inputs`), survivors selected by
+       NSGA-II environmental selection are promoted to the next rung, and
+       the final rung is always full fidelity -- so every returned candidate
+       carries *exact* measurements, and the flow's subsequent
+       re-evaluation pass is pure cache hits.
+
+    ``fidelity_ladder`` lists the reduced-rung pixel budgets in ascending
+    order (default: ``total_pixels/16, total_pixels/4`` via
+    :func:`repro.search.default_fidelity_ladder`); the full-fidelity rung is
+    appended automatically.  Rung evaluations run through ``engine`` when
+    one is passed (batched, process-parallel, shared ``axq`` keys) and
+    serially through ``cache`` otherwise -- both paths are bit-identical.
+
+    With a ``store``, rung survivors are checkpointed through the same
+    store/run_id plumbing NSGA-II uses (see
+    :func:`repro.search.run_successive_halving`): a service worker killed
+    mid-rung is taken over and finishes to a bit-identical payload.
+    ``on_generation`` fires per completed rung.  ``telemetry``, when a dict
+    is passed, is filled with the realised pattern budget per rung -- the
+    numbers behind the benchmark's budget-vs-hypervolume gate.
+
+    The strategy needs the workload inputs to evaluate exactly, so it sets
+    ``needs_exact_inputs`` and the staged flow passes ``images``/``engine``.
+    """
+    if images is None:
+        raise ValueError(
+            "sh_ehvi is a multi-fidelity exact strategy and needs the workload's "
+            "input images (pass images=..., and ideally engine=...)"
+        )
+    parameter = hw_estimator.parameter
+    rng = np.random.default_rng(seed)
+    images = [np.asarray(image) for image in images]
+    full_patterns = int(sum(int(image.size) for image in images))
+
+    # ---- 1. uncertainty-aware screening ----------------------------------
+    from .estimators import configuration_feature_matrix
+
+    pool_size = int(acquisition_pool or max(64, iterations))
+    pool = [accelerator.random_configuration(rng) for _ in range(pool_size)]
+    # EHVI can only pick what the pool contains, and random sampling alone
+    # rarely reaches the estimated Pareto region, so the pool is seeded with
+    # surrogate-optimised candidates too: an estimator-only NSGA-II run (no
+    # images/engine, hence zero exact evaluations) contributes its archive.
+    # This is the usual "optimise the acquisition on the surrogate" move.
+    surrogate = nsga2_pareto(
+        accelerator,
+        qor_estimator,
+        hw_estimator,
+        iterations=iterations,
+        archive_limit=max(32, 2 * int(initial_cohort or 0)),
+        seed=seed,
+    )
+    pool.extend(entry.config for entry in surrogate)
+    pool_size = len(pool)
+    features = configuration_feature_matrix(accelerator, pool)
+    quality_mean, quality_std = qor_estimator.estimate_batch_with_std(
+        accelerator, pool, features=features
+    )
+    cost_mean, cost_std = hw_estimator.estimate_batch_with_std(
+        accelerator, pool, features=features
+    )
+    means = np.stack([cost_mean, 1.0 - np.clip(quality_mean, 0.0, 1.0)], axis=1)
+    stds = np.stack([np.abs(cost_std), np.abs(quality_std)], axis=1)
+    maxima = means.max(axis=0)
+    reference = maxima + 0.05 * np.abs(maxima) + 1e-9
+
+    cohort_size = int(initial_cohort or min(pool_size, max(8, iterations // 8)))
+    selected: List[int] = []
+    believer_front: List[np.ndarray] = []
+    remaining = list(range(pool_size))
+    while remaining and len(selected) < cohort_size:
+        front = np.asarray(believer_front, dtype=np.float64).reshape(-1, 2)
+        scores = expected_hypervolume_improvement(
+            front, reference, means[remaining], stds[remaining],
+            num_samples=mc_samples, seed=seed,
+        )
+        best = int(np.argmax(scores))  # ties break to the lowest pool index
+        index = remaining.pop(best)
+        selected.append(index)
+        believer_front.append(means[index])
+    cohort = [pool[i] for i in selected]
+
+    # ---- 2. successive halving up the fidelity ladder --------------------
+    if fidelity_ladder is None:
+        ladder = default_fidelity_ladder(full_patterns)
+    else:
+        ladder = tuple(int(f) for f in fidelity_ladder)
+    rungs = tuple(f for f in ladder if f < full_patterns) + (None,)
+
+    def encode(config: SlotConfiguration) -> dict:
+        return {
+            "m": [int(i) for i in config.multiplier_indices],
+            "a": [int(i) for i in config.adder_indices],
+        }
+
+    def decode(payload: dict) -> SlotConfiguration:
+        return SlotConfiguration(
+            tuple(int(i) for i in payload["m"]), tuple(int(i) for i in payload["a"])
+        )
+
+    def evaluate(rung: int, fidelity: Optional[int], batch: List[dict]) -> List[dict]:
+        configs = [decode(payload) for payload in batch]
+        if engine is not None:
+            return engine.evaluate_configurations(accelerator, images, configs, fidelity=fidelity)
+        return _fidelity_exact_evaluation(accelerator, images, configs, cache, fidelity)
+
+    def objectives(payload: dict) -> Tuple[float, float]:
+        return (float(payload["cost"][parameter]), 1.0 - float(payload["quality"]))
+
+    token = blake_token(
+        "sh_ehvi",
+        accelerator_token(accelerator),
+        images_token(images),
+        parameter,
+        pool_size,
+        cohort_size,
+        rungs,
+        eta,
+        min_survivors,
+        archive_limit,
+        mc_samples,
+        seed,
+    )
+    result = run_successive_halving(
+        candidates=[encode(config) for config in cohort],
+        evaluate=evaluate,
+        objectives=objectives,
+        config=SuccessiveHalvingConfig(rungs=rungs, eta=eta, min_survivors=min_survivors),
+        store=store,
+        run_id=run_id,
+        token=token,
+        on_rung=on_generation,
+    )
+
+    archive = ParetoArchive(num_objectives=2, dedupe_keys=False)
+    for payload, evaluation in zip(result.survivors, result.evaluations):
+        entry = EvaluatedConfiguration(
+            config=decode(payload),
+            quality=float(evaluation["quality"]),
+            cost={name: float(v) for name, v in evaluation["cost"].items()},
+        )
+        archive.insert(None, entry.objectives(parameter), item=entry)
+    if len(archive) > archive_limit:
+        archive.truncate_crowding(archive_limit)
+
+    if telemetry is not None:
+        def rung_patterns(fidelity: Optional[int]) -> int:
+            if fidelity is None:
+                return full_patterns
+            reduced_images, reduced = fidelity_inputs(images, int(fidelity))
+            return sum(int(image.size) for image in reduced_images) if reduced else full_patterns
+
+        per_rung = [
+            dict(stats, patterns=rung_patterns(stats["fidelity"])) for stats in result.history
+        ]
+        telemetry.update(
+            {
+                "pool": pool_size,
+                "cohort": cohort_size,
+                "full_patterns": full_patterns,
+                "rungs": per_rung,
+                "exact_pattern_budget": sum(
+                    stats["evaluated"] * stats["patterns"] for stats in per_rung
+                ),
+                "resumed_from": result.resumed_from,
+            }
+        )
+    return archive.items()
+
+
+successive_halving_ehvi.needs_exact_inputs = True
 
 
 def exact_reevaluation(

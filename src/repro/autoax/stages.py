@@ -239,6 +239,17 @@ class ScenarioStage(Stage):
             extra["run_id"] = f"{state.run_id}:{self.name}" if state.run_id else self.name
         if state.on_generation is not None and "on_generation" in supported:
             extra["on_generation"] = state.on_generation
+        # Multi-fidelity strategies (sh_ehvi) evaluate *exactly* inside the
+        # strategy -- their final rung is full fidelity -- so they get the
+        # inputs and engine; the exact pass below then costs nothing (pure
+        # cache hits on the same axq keys).
+        if getattr(strategy, "needs_exact_inputs", False):
+            extra["images"] = state.images
+            if state.engine is not None and "engine" in supported:
+                extra["engine"] = state.engine
+        ladder = getattr(config, "fidelity_ladder", None)
+        if ladder is not None and "fidelity_ladder" in supported:
+            extra["fidelity_ladder"] = tuple(int(f) for f in ladder)
         candidates = strategy(
             state.accelerator,
             state.qor_estimator,

@@ -100,8 +100,10 @@ def hypervolume_2d(points: np.ndarray, reference: Sequence[float]) -> float:
     """Dominated hypervolume of a 2-D front w.r.t. a reference point.
 
     Used by tests and the AutoAx benchmarks to compare search strategies: a
-    larger dominated area means a better front (both objectives minimised,
-    the reference must be dominated by every point considered).
+    larger dominated area means a better front (both objectives minimised).
+    Points outside the reference box dominate zero area inside it, so they
+    are excluded and contribute nothing -- the result is never negative,
+    and a front entirely beyond the reference scores exactly 0.0.
     """
     points = _as_points(points)
     if points.shape[1] != 2:
@@ -121,8 +123,10 @@ def hypervolume_2d(points: np.ndarray, reference: Sequence[float]) -> float:
             previous_x = x
             best_y = y
             continue
-        volume += (x - previous_x) * (reference[1] - best_y)
+        # Each staircase strip is clamped at zero width/height so rounding
+        # at the reference boundary can never push the total negative.
+        volume += max(x - previous_x, 0.0) * max(reference[1] - best_y, 0.0)
         previous_x = x
         best_y = min(best_y, y)
-    volume += (reference[0] - previous_x) * (reference[1] - best_y)
-    return float(volume)
+    volume += max(reference[0] - previous_x, 0.0) * max(reference[1] - best_y, 0.0)
+    return float(max(volume, 0.0))

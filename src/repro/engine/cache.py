@@ -68,15 +68,21 @@ class CacheStats:
         traffic to one unit of work on a shared cache -- e.g. the
         :mod:`repro.service` worker records per-job (and thereby per-tenant)
         hit rates of the one shared store.
+
+        Deltas are floored at zero: swapping or reopening the disk backend
+        mid-session resets its counters (e.g. a fresh
+        :class:`repro.io.ShardedJsonStore` starts ``corrupt_count`` at 0),
+        which would otherwise report nonsensical negative traffic against a
+        snapshot taken before the swap.
         """
         return CacheStats(
-            hits=self.hits - before.hits,
-            misses=self.misses - before.misses,
-            evictions=self.evictions - before.evictions,
+            hits=max(self.hits - before.hits, 0),
+            misses=max(self.misses - before.misses, 0),
+            evictions=max(self.evictions - before.evictions, 0),
             size=self.size,
             capacity=self.capacity,
-            disk_hits=self.disk_hits - before.disk_hits,
-            corrupt=self.corrupt - before.corrupt,
+            disk_hits=max(self.disk_hits - before.disk_hits, 0),
+            corrupt=max(self.corrupt - before.corrupt, 0),
         )
 
 

@@ -104,9 +104,19 @@ _WORKER_STATE: Dict[str, object] = {}
 
 
 def _worker_errors(
-    task: Tuple[str, Netlist, int, int, int, str, Optional[int], List[Netlist]]
+    task: Tuple[str, Netlist, int, int, int, str, Optional[int], Optional[int], List[Netlist]]
 ) -> List[dict]:
-    context, reference, max_exhaustive_inputs, num_samples, seed, backend, chunk, circuits = task
+    (
+        context,
+        reference,
+        max_exhaustive_inputs,
+        num_samples,
+        seed,
+        backend,
+        chunk,
+        fidelity,
+        circuits,
+    ) = task
     evaluator = _WORKER_STATE.get(context)
     if evaluator is None:
         evaluator = ErrorEvaluator(
@@ -116,6 +126,7 @@ def _worker_errors(
             seed=seed,
             sim_backend=backend,
             chunk_patterns=chunk,
+            fidelity=fidelity,
         )
         _WORKER_STATE[context] = evaluator
     return [_error_report_to_payload(evaluator.evaluate(circuit)) for circuit in circuits]
@@ -216,6 +227,13 @@ class BatchEvaluator:
         results computed under one backend are served to every other.
         ``None`` inherits from ``error_evaluator`` when one is passed and
         falls back to ``"auto"``.
+    fidelity:
+        Explicit pattern-budget rung forwarded to the constructed
+        :class:`~repro.error.ErrorEvaluator` (see its ``fidelity``
+        parameter): the rung caps error evaluation at that many patterns
+        for multi-fidelity search ladders.  The evaluator's method and
+        pattern count are part of the ``err`` cache context, so reduced
+        rungs are namespaced away from exact results automatically.
     """
 
     def __init__(
@@ -233,6 +251,7 @@ class BatchEvaluator:
         num_samples: int = 8192,
         seed: int = 1234,
         sim_backend: Optional[str] = None,
+        fidelity: Optional[int] = None,
     ):
         if mode not in ("auto", "serial", "process"):
             raise ValueError(f"unknown engine mode {mode!r}")
@@ -255,6 +274,7 @@ class BatchEvaluator:
                 num_samples=num_samples,
                 seed=seed,
                 sim_backend=sim_backend,
+                fidelity=fidelity,
             )
         self.error_evaluator = error_evaluator
         self.asic_synthesizer = asic_synthesizer
@@ -479,6 +499,7 @@ class BatchEvaluator:
                 evaluator.seed,
                 self.sim_backend,
                 evaluator.chunk_patterns,
+                getattr(evaluator, "fidelity", None),
                 chunk,
             ),
             worker=_worker_errors,
@@ -512,7 +533,9 @@ class BatchEvaluator:
             worker=_worker_fpga,
         )
 
-    def evaluate_configurations(self, accelerator, images, configurations) -> List[dict]:
+    def evaluate_configurations(
+        self, accelerator, images, configurations, fidelity: Optional[int] = None
+    ) -> List[dict]:
         """Exact ``{"quality", "cost"}`` payloads for accelerator configurations.
 
         The generation-batched counterpart of the per-configuration exact
@@ -525,6 +548,15 @@ class BatchEvaluator:
         workload identity), so hits flow in both directions and values are
         bit-identical by construction.
 
+        ``fidelity`` is the multi-fidelity ladder rung: a total-pixel
+        budget applied by centre-cropping the input images
+        (:func:`repro.workloads.fidelity_inputs`) before evaluation.  A
+        budget at or above the full pixel count is an identity -- the call
+        is *exactly* a full-fidelity evaluation, sharing its cache keys --
+        while a reduced budget namespaces the ``axq`` context by both the
+        cropped image set and the rung, so screens never alias exact
+        results.
+
         The accelerator only needs ``multipliers``/``adders`` component
         lists plus ``prepare_inputs`` (or the legacy ``prepare_images``
         spelling) and ``evaluate_prepared`` -- the engine stays decoupled
@@ -532,7 +564,14 @@ class BatchEvaluator:
         """
         configurations = list(configurations)
         images = list(images)
-        context = accelerator_context(accelerator, images)
+        reduced = False
+        if fidelity is not None:
+            from ..workloads.inputs import fidelity_inputs
+
+            images, reduced = fidelity_inputs(images, int(fidelity))
+        context = accelerator_context(
+            accelerator, images, fidelity=int(fidelity) if reduced else None
+        )
         keys = [
             cache_key(
                 "axq",

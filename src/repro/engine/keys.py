@@ -89,9 +89,20 @@ def accelerator_token(accelerator) -> str:
     return blake_token(*parts)
 
 
-def accelerator_context(accelerator, images) -> str:
+def accelerator_context(accelerator, images, fidelity=None) -> str:
     """Cache context of exact accelerator evaluations on one input set.
 
     Inherits the workload namespacing of :func:`accelerator_token`, so
-    ``axq`` entries are scoped to (workload, components, inputs)."""
-    return blake_token(accelerator_token(accelerator), images_token(images))
+    ``axq`` entries are scoped to (workload, components, inputs).
+
+    ``fidelity`` namespaces reduced-budget evaluations on a multi-fidelity
+    ladder rung: the rung's pixel budget is mixed into the context on top
+    of the (already reduced) image set, so a low-fidelity screen can never
+    be served for a full-fidelity request even if an unrelated input set
+    happened to hash identically.  Full-fidelity evaluations pass ``None``
+    and keep the historical token."""
+    if fidelity is None:
+        return blake_token(accelerator_token(accelerator), images_token(images))
+    return blake_token(
+        accelerator_token(accelerator), images_token(images), f"fidelity={int(fidelity)}"
+    )

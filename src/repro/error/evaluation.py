@@ -73,6 +73,17 @@ class ErrorEvaluator:
         blocks of at most this size (via :class:`ErrorAccumulator`), so
         peak memory is bounded by the block size instead of the full
         pattern count.  ``None`` (the default) evaluates in one shot.
+    fidelity:
+        Explicit pattern-budget rung for multi-fidelity search ladders.
+        ``None`` (the default) keeps the standard behaviour above.  A
+        positive integer caps the evaluation at that many patterns: if the
+        budget covers the full exhaustive sweep (``2^num_inputs <=
+        fidelity`` within ``max_exhaustive_inputs``) the rung *is* exact
+        evaluation; otherwise the circuit is evaluated on a seeded
+        Monte-Carlo sample of exactly ``fidelity`` patterns, even when it
+        is small enough for exhaustive enumeration.  The method/pattern
+        count are part of the engine's cache context, so a low-fidelity
+        screen can never alias an exact result.
     """
 
     def __init__(
@@ -83,9 +94,12 @@ class ErrorEvaluator:
         seed: int = 1234,
         sim_backend: str = "auto",
         chunk_patterns: Optional[int] = None,
+        fidelity: Optional[int] = None,
     ):
         if chunk_patterns is not None and chunk_patterns <= 0:
             raise ValueError("chunk_patterns must be positive (or None for one-shot)")
+        if fidelity is not None and int(fidelity) < 1:
+            raise ValueError("fidelity must be a positive pattern budget (or None)")
         validate_sim_backend(sim_backend)  # fail fast on unknown keys
         self.reference = reference
         self.max_exhaustive_inputs = max_exhaustive_inputs
@@ -93,8 +107,23 @@ class ErrorEvaluator:
         self.seed = seed
         self.sim_backend = sim_backend
         self.chunk_patterns = chunk_patterns
+        self.fidelity = None if fidelity is None else int(fidelity)
 
-        if reference.num_inputs <= max_exhaustive_inputs:
+        exhaustive_ok = reference.num_inputs <= max_exhaustive_inputs
+        if self.fidelity is not None:
+            budget_covers_exact = (
+                exhaustive_ok
+                and reference.num_inputs < 63
+                and (1 << reference.num_inputs) <= self.fidelity
+            )
+            if budget_covers_exact:
+                self._operands = exhaustive_operands(reference)
+                self._method = "exhaustive"
+            else:
+                rng = np.random.default_rng(seed)
+                self._operands = random_operands(reference, self.fidelity, rng)
+                self._method = "monte_carlo"
+        elif exhaustive_ok:
             self._operands = exhaustive_operands(reference)
             self._method = "exhaustive"
         else:
@@ -209,6 +238,7 @@ def evaluate_error(
     seed: int = 1234,
     sim_backend: str = "auto",
     chunk_patterns: Optional[int] = None,
+    fidelity: Optional[int] = None,
 ) -> ErrorReport:
     """One-shot convenience wrapper around :class:`ErrorEvaluator`."""
     evaluator = ErrorEvaluator(
@@ -218,5 +248,6 @@ def evaluate_error(
         seed=seed,
         sim_backend=sim_backend,
         chunk_patterns=chunk_patterns,
+        fidelity=fidelity,
     )
     return evaluator.evaluate(circuit)

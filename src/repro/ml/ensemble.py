@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
-from .base import Regressor
+from .base import Regressor, check_array
 from .tree import DecisionTreeRegressor
 
 
@@ -49,6 +49,27 @@ class RandomForestRegressor(Regressor):
     def _predict(self, X: np.ndarray) -> np.ndarray:
         predictions = np.stack([tree.predict(X) for tree in self.estimators_], axis=0)
         return predictions.mean(axis=0)
+
+    def predict_with_std(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Ensemble mean and member-disagreement standard deviation.
+
+        The spread of the bagged trees is the forest's epistemic
+        uncertainty: zero where every bootstrap replica agrees, large in
+        regions they disagree on.  This is what feeds the EHVI acquisition
+        in :mod:`repro.search.multifidelity` for forest-backed estimators.
+        """
+        if not self._fitted:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fitted before calling predict_with_std()"
+            )
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"{type(self).__name__} was fitted with {self.n_features_in_} features, "
+                f"got {X.shape[1]}"
+            )
+        predictions = np.stack([tree.predict(X) for tree in self.estimators_], axis=0)
+        return predictions.mean(axis=0), predictions.std(axis=0)
 
 
 class GradientBoostingRegressor(Regressor):

@@ -39,10 +39,33 @@ class GaussianProcessRegressor(Regressor):
         gamma = 1.0 / (2.0 * length_scale ** 2)
         return self.signal_variance * rbf_kernel(A, B, gamma=gamma)
 
+    def _cholesky_with_jitter(self, K: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Lower Cholesky of ``K``, escalating diagonal jitter on failure.
+
+        Degenerate training sets -- duplicate or near-duplicate rows, large
+        feature magnitudes whose squared-distance computation cancels --
+        can leave the kernel matrix numerically indefinite even though the
+        white-noise term makes it PD in exact arithmetic.  Rather than
+        crash, retry with exponentially growing diagonal jitter (relative
+        to the kernel's own diagonal scale, from 1e-10 up to 1e-3); the
+        amount actually used is recorded in ``jitter_``.
+        """
+        scale = float(np.mean(np.diag(K))) or 1.0
+        for jitter in [0.0] + [scale * 10.0 ** -exponent for exponent in range(10, 2, -1)]:
+            try:
+                chol = linalg.cholesky(K + jitter * np.eye(K.shape[0]), lower=True)
+            except linalg.LinAlgError:
+                continue
+            return chol, jitter
+        raise linalg.LinAlgError(
+            "kernel matrix is not positive definite even with maximum jitter; "
+            "check the training data for non-finite or absurdly scaled features"
+        )
+
     def _log_marginal_likelihood(self, X: np.ndarray, y: np.ndarray, length_scale: float) -> float:
         K = self._kernel(X, X, length_scale) + self.noise * np.eye(X.shape[0])
         try:
-            chol = linalg.cholesky(K, lower=True)
+            chol, _ = self._cholesky_with_jitter(K)
         except linalg.LinAlgError:
             return -np.inf
         alpha = linalg.cho_solve((chol, True), y)
@@ -64,7 +87,7 @@ class GaussianProcessRegressor(Regressor):
         self.length_scale_ = best_scale
 
         K = self._kernel(X, X, best_scale) + self.noise * np.eye(X.shape[0])
-        self._chol = linalg.cholesky(K, lower=True)
+        self._chol, self.jitter_ = self._cholesky_with_jitter(K)
         self._alpha = linalg.cho_solve((self._chol, True), centered)
         self._X_train = X.copy()
 
@@ -73,7 +96,15 @@ class GaussianProcessRegressor(Regressor):
         return K_star @ self._alpha + self._y_mean
 
     def predict_with_std(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Posterior mean and standard deviation."""
+        """Posterior mean and standard deviation.
+
+        Defined for every fit the model accepts, including the degenerate
+        single-sample case: with one training point ``(x0, y0)`` the
+        posterior mean interpolates between ``y0`` (at ``x0``) and the
+        training mean (far away), while the standard deviation grows from
+        ``~sqrt(noise)`` at ``x0`` to the prior
+        ``sqrt(signal_variance + noise)`` far away.
+        """
         mean = self.predict(X)
         X = np.asarray(X, dtype=np.float64)
         if X.ndim == 1:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -78,6 +78,30 @@ class ScaledRegressor(Regressor):
         if self.scale_target:
             predictions = predictions * self._y_scale + self._y_mean
         return predictions
+
+    def predict_with_std(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean/std forwarded from the inner model, in target units.
+
+        Inner models without predictive uncertainty (Ridge, SGD, ...)
+        report zero standard deviation -- deterministic predictions, not
+        an error -- so uncertainty-aware consumers can treat every wrapped
+        model uniformly.
+        """
+        if not self._fitted:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fitted before calling predict_with_std()"
+            )
+        X = check_array(X)
+        inner_with_std = getattr(self.inner, "predict_with_std", None)
+        if inner_with_std is None:
+            return self.predict(X), np.zeros(X.shape[0], dtype=np.float64)
+        mean, std = inner_with_std(self._scaler.transform(X))
+        mean = np.asarray(mean, dtype=np.float64).ravel()
+        std = np.asarray(std, dtype=np.float64).ravel()
+        if self.scale_target:
+            mean = mean * self._y_scale + self._y_mean
+            std = std * self._y_scale
+        return mean, std
 
 
 class FeatureSubsetRegressor(Regressor):

@@ -7,14 +7,27 @@ The package holds the problem-agnostic half of the repo's searches:
   strategy in :data:`repro.autoax.SEARCH_STRATEGIES` and by the
   methodology's front bookkeeping (:mod:`repro.core.stages`);
 * :func:`run_nsga2` -- a generic, resumable NSGA-II loop over tuple genomes
-  with generation-batched evaluation.
+  with generation-batched evaluation;
+* :mod:`repro.search.multifidelity` -- expected-hypervolume-improvement
+  acquisition (exact in 2-D, Monte-Carlo beyond) and a resumable
+  successive-halving runner over explicit fidelity ladders.
 
 The AutoAx configuration-space strategies themselves (including the
-``"nsga2"`` adapter) live in :mod:`repro.autoax.search`, which builds on
-this package.
+``"nsga2"`` and ``"sh_ehvi"`` adapters) live in :mod:`repro.autoax.search`,
+which builds on this package.
 """
 
 from .archive import ArchiveEntry, ParetoArchive, crowding_distances, non_dominated_ranks
+from .multifidelity import (
+    SuccessiveHalvingConfig,
+    SuccessiveHalvingResult,
+    default_fidelity_ladder,
+    ehvi_2d,
+    expected_hypervolume_improvement,
+    hypervolume,
+    monte_carlo_ehvi,
+    run_successive_halving,
+)
 from .nsga2 import (
     Nsga2Config,
     Nsga2Result,
@@ -33,4 +46,12 @@ __all__ = [
     "genome_token",
     "run_nsga2",
     "select_next_population",
+    "SuccessiveHalvingConfig",
+    "SuccessiveHalvingResult",
+    "default_fidelity_ladder",
+    "ehvi_2d",
+    "expected_hypervolume_improvement",
+    "hypervolume",
+    "monte_carlo_ehvi",
+    "run_successive_halving",
 ]

@@ -95,15 +95,22 @@ class JobClient:
 
         Convenience for tests and scripts; production clients poll
         :meth:`status`.  Raises ``TimeoutError`` when the deadline passes.
+        Each sleep is capped at the time remaining, so the call returns (or
+        raises) within ``timeout`` rather than overshooting by up to a full
+        ``poll_interval``; ``timeout=0`` means a single immediate status
+        check with no sleeping at all.
         """
+        if timeout < 0:
+            raise ValueError("timeout must be non-negative")
         deadline = time.monotonic() + timeout
         while True:
             record = self.status(job_id)
             if record.state not in ("queued", "running"):
                 return record
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise TimeoutError(f"job {job_id!r} still {record.state} after {timeout}s")
-            time.sleep(poll_interval)
+            time.sleep(min(poll_interval, remaining))
 
     def jobs(self, *, tenant: Optional[str] = None, state: Optional[str] = None) -> List[JobRecord]:
         """Records of this (or any) tenant's jobs, oldest first."""

@@ -49,6 +49,9 @@ DEFAULT_AUTOAX_PARAMS: Dict[str, object] = {
     "hill_climb_iterations": 120,
     "image_size": 32,
     "seed": 17,
+    # Multi-fidelity ladder for sh_ehvi (ascending pixel budgets; None lets
+    # the strategy derive its default; ignored by single-fidelity strategies).
+    "fidelity_ladder": None,
     # Component-library description (regenerated deterministically).
     "multiplier_bits": 8,
     "multiplier_library_size": 40,
@@ -125,6 +128,9 @@ def run_autoax_job(
         hill_climb_iterations=int(p["hill_climb_iterations"]),
         image_size=int(p["image_size"]),
         seed=int(p["seed"]),
+        fidelity_ladder=(
+            tuple(int(f) for f in p["fidelity_ladder"]) if p.get("fidelity_ladder") else None
+        ),
     )
     result = session.run_autoax(
         multipliers,

@@ -55,9 +55,11 @@ from .convolution import (
     SharpenAccelerator,
 )
 from .inputs import (
+    MIN_FIDELITY_SIDE,
     blob_image,
     checkerboard_image,
     default_image_set,
+    fidelity_inputs,
     gradient_image,
     noise_image,
     texture_image,
@@ -101,9 +103,11 @@ __all__ = [
     "psnr",
     "psnr_score",
     "ssim",
+    "MIN_FIDELITY_SIDE",
     "blob_image",
     "checkerboard_image",
     "default_image_set",
+    "fidelity_inputs",
     "gradient_image",
     "noise_image",
     "texture_image",

@@ -23,7 +23,8 @@ seeds -- set-level distinctness never depends on them.
 
 from __future__ import annotations
 
-from typing import List
+import math
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -31,10 +32,51 @@ __all__ = [
     "blob_image",
     "checkerboard_image",
     "default_image_set",
+    "fidelity_inputs",
     "gradient_image",
     "noise_image",
     "texture_image",
 ]
+
+#: Smallest side length :func:`fidelity_inputs` will crop to.  The largest
+#: quality-metric window in the registry (SSIM's default 7x7) must still
+#: fit, and below this size a quality estimate is statistically useless.
+MIN_FIDELITY_SIDE = 8
+
+
+def fidelity_inputs(
+    images: Sequence[np.ndarray], budget: int
+) -> Tuple[List[np.ndarray], bool]:
+    """Reduce an image set to roughly ``budget`` total pixels by centre-cropping.
+
+    The multi-fidelity ladder's reduced-rung transform: every image is
+    cropped around its centre by the same linear factor
+    ``sqrt(budget / total_pixels)``, preserving the set's content mix
+    while cutting evaluation cost proportionally.  Sides never drop below
+    :data:`MIN_FIDELITY_SIDE` (so windowed quality metrics keep working on
+    tiny budgets -- the realised pixel count may then exceed ``budget``).
+
+    Returns ``(images, reduced)``.  A budget at or above the full pixel
+    count is an identity: the *original* arrays come back with ``reduced``
+    False, so full-fidelity rungs share exact-evaluation cache tokens
+    bit for bit.
+    """
+    if budget < 1:
+        raise ValueError("fidelity budget must be at least one pixel")
+    images = [np.asarray(image) for image in images]
+    total = sum(int(image.size) for image in images)
+    if total <= budget:
+        return images, False
+    scale = math.sqrt(budget / total)
+    cropped = []
+    for image in images:
+        rows, cols = image.shape[:2]
+        new_rows = min(rows, max(MIN_FIDELITY_SIDE, int(rows * scale)))
+        new_cols = min(cols, max(MIN_FIDELITY_SIDE, int(cols * scale)))
+        row0 = (rows - new_rows) // 2
+        col0 = (cols - new_cols) // 2
+        cropped.append(np.ascontiguousarray(image[row0:row0 + new_rows, col0:col0 + new_cols]))
+    return cropped, True
 
 
 def gradient_image(size: int, seed: int = 0) -> np.ndarray:

@@ -104,6 +104,24 @@ class TestEvalCache:
         cache.reset_stats()
         assert cache.stats().lookups == 0
 
+    def test_since_floors_deltas_when_counters_reset(self, tmp_path):
+        # Regression: a snapshot taken before a store swap/reopen (which
+        # resets cumulative counters) used to yield negative deltas.
+        cache = EvalCache(capacity=4, disk_path=tmp_path / "cache")
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("missing")
+        before = cache.stats()
+        assert before.hits == 1 and before.misses == 1
+        reopened = EvalCache(capacity=4, disk_path=tmp_path / "cache")
+        reopened.get("k")  # disk hit on the fresh instance
+        delta = reopened.stats().since(before)
+        # Fresh counters are below the snapshot: floored at 0, not negative.
+        assert delta.hits == 0 and delta.misses == 0
+        assert delta.evictions == 0 and delta.corrupt == 0
+        assert delta.disk_hits == 1  # genuinely new traffic still shows
+        assert delta.size == reopened.stats().size  # instantaneous, kept
+
 
 class TestJsonDirectoryStore:
     def test_roundtrip_and_keys(self, tmp_path):

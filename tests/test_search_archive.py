@@ -250,3 +250,38 @@ class TestCheckpointing:
         )
         assert archive.hypervolume() > 0.0
         assert ParetoArchive(num_objectives=2).hypervolume((1.0, 1.0)) == 0.0
+
+
+# --------------------------------------------------------------------- #
+# Hypervolume clamping (regression)
+# --------------------------------------------------------------------- #
+class TestHypervolumeClamp:
+    """Archive members at or beyond the reference must contribute zero
+    area -- the volume is never negative and never inflated by out-of-box
+    points (regression for the unclamped staircase strips)."""
+
+    def test_reference_inside_the_front_scores_zero(self):
+        archive = filled_archive([(1.0, 5.0), (3.0, 3.0), (5.0, 1.0)],
+                                 keys=["a", "b", "c"])
+        assert archive.hypervolume((0.5, 0.5)) == 0.0
+
+    def test_out_of_reference_members_are_excluded(self):
+        from repro.core.pareto import hypervolume_2d
+
+        inside = [(1.0, 2.0), (2.0, 1.0)]
+        outside = [(0.5, 9.0), (9.0, 0.5)]  # dominate nothing inside the box
+        reference = (4.0, 4.0)
+        archive = filled_archive(
+            inside + outside, keys=[f"p{i}" for i in range(4)]
+        )
+        assert archive.hypervolume(reference) == pytest.approx(
+            hypervolume_2d(np.array(inside), reference)
+        )
+
+    @given(points=point_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_fuzzed_volumes_are_never_negative(self, points):
+        archive = filled_archive(points, dedupe=False)
+        # Tight references land inside or below the front routinely.
+        for reference in [(0.0, 0.0), (3.0, 3.0), (1.0, 6.0)]:
+            assert archive.hypervolume(reference) >= 0.0

@@ -257,6 +257,33 @@ class TestClientAndWorker:
         with pytest.raises(RuntimeError, match="intentional"):
             client.result(job_id)
 
+    def test_wait_timeout_never_overshoots(self, tmp_path):
+        # Regression: each sleep used to be a full poll_interval, so a
+        # wait(timeout=0.2, poll_interval=10) blocked for 10 seconds.
+        client = JobClient(tmp_path)
+        job_id = client.submit("autoax", TINY_AUTOAX)  # queued, no worker
+        start = time.monotonic()
+        with pytest.raises(TimeoutError, match="queued"):
+            client.wait(job_id, timeout=0.2, poll_interval=10.0)
+        assert time.monotonic() - start < 2.0
+
+    def test_wait_timeout_zero_is_a_single_immediate_check(self, tmp_path):
+        client = JobClient(tmp_path)
+        job_id = client.submit("autoax", TINY_AUTOAX)
+        start = time.monotonic()
+        with pytest.raises(TimeoutError):
+            client.wait(job_id, timeout=0)
+        assert time.monotonic() - start < 0.5
+        # A finished job is returned by the same immediate check.
+        Worker(tmp_path, engine_mode="serial").run_once()
+        assert client.wait(job_id, timeout=0).state == "done"
+
+    def test_wait_rejects_negative_timeout(self, tmp_path):
+        client = JobClient(tmp_path)
+        job_id = client.submit("autoax", TINY_AUTOAX)
+        with pytest.raises(ValueError, match="non-negative"):
+            client.wait(job_id, timeout=-1.0)
+
     def test_worker_rejects_cache_store_overrides(self, tmp_path):
         with pytest.raises(ValueError, match="owned by the registry"):
             Worker(tmp_path, cache=object())
