@@ -120,7 +120,7 @@ from .core import ApproxFpgasConfig, ApproxFpgasFlow, run_approxfpgas
 from .engine import BatchEvaluator, EvalCache
 from .generators import CircuitLibrary, build_adder_library, build_multiplier_library
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "ApproxFpgasConfig",

@@ -224,8 +224,10 @@ class ExplorationSession:
 
         The accelerator workload is picked with ``AutoAxConfig(workload=...)``
         from the :data:`repro.workloads.WORKLOADS` registry (``"gaussian"``
-        by default; ``"sobel"`` and ``"sharpen"`` ship built in, and custom
-        workloads plug in by registering a key).  The session cache is
+        by default; the image workloads ``"sobel"`` and ``"sharpen"`` and
+        the 1-D signal family ``"mvm"`` / ``"dct"`` / ``"fir"`` /
+        ``"fir_mixed"`` ship built in, and custom workloads plug in by
+        registering a key).  The session cache is
         shared with every other run, so exact accelerator evaluations are
         reused across scenarios, baselines and repeated studies -- engine
         cache keys are namespaced per workload, so two workloads over the

@@ -45,9 +45,11 @@ class AutoAxConfig:
     one batched call)."""
     workload: str = "gaussian"
     """Key into :data:`repro.workloads.WORKLOADS` selecting which
-    accelerator case study the flow optimises (built-ins: ``"gaussian"``,
-    ``"sobel"``, ``"sharpen"``).  The workload defines the datapath, the
-    slot shape, the quality metric and the default seeded input set."""
+    accelerator case study the flow optimises (built-ins: the image trio
+    ``"gaussian"`` / ``"sobel"`` / ``"sharpen"`` and the 1-D signal
+    family ``"mvm"`` / ``"dct"`` / ``"fir"`` / ``"fir_mixed"``).  The
+    workload defines the datapath, the slot shape, the quality metric and
+    the default seeded input set (2-D images or 1-D signals)."""
     fidelity_ladder: Optional[Sequence[int]] = None
     """Ascending reduced-rung pixel budgets for multi-fidelity strategies
     (``"sh_ehvi"``); each rung evaluates on a centre-cropped input set of

@@ -370,8 +370,10 @@ def nsga2_pareto(
 ) -> List[EvaluatedConfiguration]:
     """Population-based NSGA-II over the configuration space.
 
-    The genome is the flat tuple of the 9 multiplier and 8 adder slot
-    assignments; variation is per-parameter uniform crossover plus the same
+    The genome is the flat tuple of the accelerator's multiplier and adder
+    slot assignments (split at ``num_multiplier_slots``, so any slot shape
+    works -- the Gaussian case study's 9 + 8 as well as the MVM family's
+    8 + 7); variation is per-parameter uniform crossover plus the same
     single-slot mutation move the hill climber uses.  Whole generations are
     scored through the estimators in **one batched call**
     (``estimate_batch``), which is what makes the strategy faster than the

@@ -40,7 +40,11 @@ JOB_FLOWS = Registry("job flow")
 # AutoAx accelerator studies
 # --------------------------------------------------------------------- #
 DEFAULT_AUTOAX_PARAMS: Dict[str, object] = {
-    # Case-study knobs (see repro.autoax.AutoAxConfig).
+    # Case-study knobs (see repro.autoax.AutoAxConfig).  "workload" is any
+    # repro.workloads.WORKLOADS key -- the image trio as well as the 1-D
+    # signal family ("mvm"/"dct"/"fir"/"fir_mixed"); "image_size" is the
+    # generic input-size knob (signal workloads draw 4*image_size samples
+    # per signal).
     "workload": "gaussian",
     "search_strategy": "hill_climb",
     "parameters": ["area"],

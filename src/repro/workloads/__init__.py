@@ -6,8 +6,9 @@ that is *not* specific to one accelerator: the
 :data:`WORKLOADS` registry, the shared component machinery
 (:class:`ApproxComponent`, :func:`components_from_library`), the
 :data:`QUALITY_METRICS` registry with the built-in metrics
-(SSIM / bounded PSNR / gradient-magnitude similarity) and the seeded
-synthetic input sets.
+(SSIM / bounded PSNR / bounded SNR / gradient-magnitude similarity) and
+the seeded synthetic input sets (2-D image sets for the convolution
+workloads, 1-D signal sets for the MVM/signal family).
 
 Built-in workloads (registered on import):
 
@@ -16,7 +17,16 @@ Built-in workloads (registered on import):
 * ``"sobel"`` -- :class:`SobelAccelerator`, 3x3 Sobel edge detection
   (12 multipliers, 8 adders, gradient-magnitude similarity);
 * ``"sharpen"`` -- :class:`SharpenAccelerator`, a signed 3x3 sharpening
-  kernel (5 multipliers, 3 adders, bounded PSNR).
+  kernel (5 multipliers, 3 adders, bounded PSNR);
+* ``"mvm"`` -- :class:`BitSlicedMVMAccelerator`, a blocked 6x8
+  matrix-vector multiply with sign-magnitude input bit slicing
+  (``slice_width`` knob; 8 multipliers, 7 adders, bounded SNR);
+* ``"dct"`` -- :class:`DctAccelerator`, the 8-point DCT-II through the
+  same bit-sliced MVM datapath (8 multipliers, 7 adders, bounded SNR);
+* ``"fir"`` -- :class:`FirAccelerator`, a 7-tap low-pass FIR filter
+  (7 multipliers, 6 adders, bounded SNR);
+* ``"fir_mixed"`` -- :class:`MixedWidthFirAccelerator`, the FIR at a
+  swept 6-bit multiplier / 12-bit adder operand-width point.
 
 Registering a custom workload::
 
@@ -38,6 +48,7 @@ from .base import (
     ApproxAccelerator,
     ComponentSlot,
     SlotConfiguration,
+    VectorAccelerator,
     WORKLOADS,
     build_workload,
     reduce_balanced,
@@ -55,14 +66,22 @@ from .convolution import (
     SharpenAccelerator,
 )
 from .inputs import (
+    MIN_FIDELITY_LENGTH,
     MIN_FIDELITY_SIDE,
     blob_image,
     checkerboard_image,
     default_image_set,
+    default_signal_set,
     fidelity_inputs,
     gradient_image,
     noise_image,
     texture_image,
+)
+from .mvm import (
+    BitSlicedMVMAccelerator,
+    convert_sliced,
+    num_slices,
+    recombine_slices,
 )
 from .quality import (
     QUALITY_METRICS,
@@ -70,7 +89,18 @@ from .quality import (
     mean_ssim,
     psnr,
     psnr_score,
+    snr,
+    snr_score,
     ssim,
+)
+from .signal import (
+    DCT_SCALE,
+    FIR_SHIFT,
+    FIR_TAPS,
+    DctAccelerator,
+    FirAccelerator,
+    MixedWidthFirAccelerator,
+    dct_matrix,
 )
 from .sobel import SOBEL_GX_KERNEL, SOBEL_GY_KERNEL, SOBEL_SHIFT, SobelAccelerator
 
@@ -78,6 +108,7 @@ __all__ = [
     "ApproxAccelerator",
     "ComponentSlot",
     "SlotConfiguration",
+    "VectorAccelerator",
     "WORKLOADS",
     "build_workload",
     "reduce_balanced",
@@ -88,6 +119,14 @@ __all__ = [
     "GaussianFilterAccelerator",
     "SharpenAccelerator",
     "SobelAccelerator",
+    "BitSlicedMVMAccelerator",
+    "DctAccelerator",
+    "FirAccelerator",
+    "MixedWidthFirAccelerator",
+    "convert_sliced",
+    "num_slices",
+    "recombine_slices",
+    "dct_matrix",
     "GAUSSIAN_KERNEL_3X3",
     "KERNEL_SHIFT",
     "NUM_MULTIPLIER_SLOTS",
@@ -97,16 +136,23 @@ __all__ = [
     "SOBEL_GX_KERNEL",
     "SOBEL_GY_KERNEL",
     "SOBEL_SHIFT",
+    "DCT_SCALE",
+    "FIR_SHIFT",
+    "FIR_TAPS",
     "QUALITY_METRICS",
     "gradient_similarity",
     "mean_ssim",
     "psnr",
     "psnr_score",
+    "snr",
+    "snr_score",
     "ssim",
+    "MIN_FIDELITY_LENGTH",
     "MIN_FIDELITY_SIDE",
     "blob_image",
     "checkerboard_image",
     "default_image_set",
+    "default_signal_set",
     "fidelity_inputs",
     "gradient_image",
     "noise_image",

@@ -25,10 +25,14 @@ already consume:
   never alias two workloads built from the same component libraries.
 
 Built-in workloads register themselves on import of
-:mod:`repro.workloads`: ``"gaussian"`` (the paper's 3x3 Gaussian-filter
-case study, SSIM quality), ``"sobel"`` (3x3 Sobel edge detection,
-gradient-magnitude-similarity quality) and ``"sharpen"`` (3x3 sharpening
-convolution, PSNR quality).
+:mod:`repro.workloads`: the image-convolution trio ``"gaussian"`` (the
+paper's 3x3 Gaussian-filter case study, SSIM quality), ``"sobel"`` (3x3
+Sobel edge detection, gradient-magnitude-similarity quality) and
+``"sharpen"`` (3x3 sharpening convolution, PSNR quality), plus the 1-D
+signal family built on :class:`VectorAccelerator`: ``"mvm"`` (bit-sliced
+matrix-vector multiply, SNR quality), ``"dct"`` (8-point DCT-II as a
+bit-sliced MVM), ``"fir"`` (7-tap low-pass FIR) and ``"fir_mixed"``
+(the FIR at swept 6-bit multiplier / 12-bit adder operand widths).
 """
 
 from __future__ import annotations
@@ -41,13 +45,14 @@ import numpy as np
 
 from ..engine.keys import blake_token
 from ..registry import Registry
-from .inputs import default_image_set
+from .inputs import default_image_set, default_signal_set
 from .quality import QUALITY_METRICS
 
 __all__ = [
     "ApproxAccelerator",
     "ComponentSlot",
     "SlotConfiguration",
+    "VectorAccelerator",
     "WORKLOADS",
     "build_workload",
     "reduce_balanced",
@@ -72,7 +77,12 @@ def build_workload(key: str, multipliers: Sequence, adders: Sequence) -> "Approx
     return WORKLOADS.get(key)(multipliers, adders)
 
 
-def reduce_balanced(values, combine, slot: int = 0):
+#: Sentinel distinguishing "no ``empty`` fallback supplied" from an
+#: explicit ``empty=None`` (``None`` is a legitimate fallback value).
+_NO_EMPTY = object()
+
+
+def reduce_balanced(values, combine, slot: int = 0, *, empty=_NO_EMPTY):
     """Balanced pairwise reduction threading adder-slot numbers.
 
     ``combine(slot, left, right)`` merges two values through the adder
@@ -80,12 +90,25 @@ def reduce_balanced(values, combine, slot: int = 0):
     (level by level, left to right), which is exactly the accumulation-tree
     numbering the historical Gaussian-filter accelerator used -- for nine
     products the tree is 4 + 2 + 1 internal adders plus the final addition
-    of the ninth product, on slots 0..7.  Returns ``(result, next_slot)``;
-    a single value passes through without consuming a slot.
+    of the ninth product, on slots 0..7.  Returns ``(result, next_slot)``.
+
+    Degenerate cases (contract pinned by ``tests/test_workload_mvm_signal.py``,
+    hit by the 1-D MVM/signal workloads whose per-row sign groups can hold
+    one or zero operands):
+
+    * a **single value** passes through unchanged without consuming a slot
+      and without calling ``combine``;
+    * an **empty list** returns ``(empty, slot)`` when the ``empty``
+      fallback is given (the group's additive identity -- slot counter
+      untouched, ``combine`` never called) and raises the historical
+      :class:`ValueError` otherwise, so callers that cannot provide an
+      identity still fail loudly instead of crashing on ``values[0]``.
     """
     values = list(values)
     if not values:
-        raise ValueError("cannot reduce an empty value list")
+        if empty is _NO_EMPTY:
+            raise ValueError("cannot reduce an empty value list")
+        return empty, slot
     while len(values) > 1:
         reduced = []
         for index in range(0, len(values) - 1, 2):
@@ -477,3 +500,60 @@ class ApproxAccelerator(abc.ABC):
             f"{type(self).__name__}(workload={self.workload_name!r}, "
             f"multipliers={len(self.multipliers)}, adders={len(self.adders)})"
         )
+
+
+class VectorAccelerator(ApproxAccelerator):
+    """Base class of 1-D signal workloads (MVM, FIR, DCT).
+
+    The image-free half of the protocol: inputs are 1-D sample vectors
+    (:func:`repro.workloads.inputs.default_signal_set`), *prepared* form
+    is whatever the subclass's :meth:`_prepare_signal` returns (shifted
+    tap planes for FIR, sign/slice/block triples for the bit-sliced MVM),
+    and the golden reference comes from :meth:`_exact_from_prepared`.
+    Everything downstream -- :meth:`prepare_inputs` tuples,
+    ``evaluate_prepared``, cost composition, cache-key identity -- is the
+    shared :class:`ApproxAccelerator` machinery, so the engine, search
+    strategies and service treat 1-D workloads identically to the image
+    trio (this family is the first exercise of ``prepare_inputs`` beyond
+    image sets).
+    """
+
+    def default_inputs(self, size: int = 48) -> List[np.ndarray]:
+        """The workload's seeded 1-D signal set (``4 * size`` samples each)."""
+        return default_signal_set(size, seed=self.input_seed)
+
+    @abc.abstractmethod
+    def _prepare_signal(self, signal: np.ndarray):
+        """Per-input precomputation shared by every configuration."""
+
+    @abc.abstractmethod
+    def _exact_from_prepared(self, prepared) -> np.ndarray:
+        """Golden output computed with exact integer arithmetic."""
+
+    def _check_signal(self, signal: np.ndarray) -> np.ndarray:
+        signal = np.asarray(signal)
+        if signal.ndim != 1:
+            raise ValueError("expected a 1-D signal vector")
+        return signal.astype(np.int64)
+
+    # The 2-D plane hooks are meaningless here; route the shared
+    # ``quality_prepared`` machinery (which calls ``_apply_planes`` on
+    # whatever ``prepare_inputs`` produced) through the signal hooks.
+    def _exact_from_planes(self, planes) -> np.ndarray:
+        return self._exact_from_prepared(planes)
+
+    def exact_filter(self, signal: np.ndarray) -> np.ndarray:
+        """Golden output of the datapath with exact integer arithmetic."""
+        return self._exact_from_prepared(self._prepare_signal(self._check_signal(signal)))
+
+    def apply(self, signal: np.ndarray, config: SlotConfiguration) -> np.ndarray:
+        """Output of the datapath when executed with the configured components."""
+        return self._apply_planes(self._prepare_signal(self._check_signal(signal)), config)
+
+    def prepare_inputs(self, inputs: Sequence[np.ndarray]) -> List[Tuple]:
+        """One ``(prepared, exact reference)`` entry per 1-D input signal."""
+        prepared = []
+        for signal in inputs:
+            item = self._prepare_signal(self._check_signal(signal))
+            prepared.append((item, self._exact_from_prepared(item)))
+        return prepared

@@ -32,6 +32,7 @@ __all__ = [
     "blob_image",
     "checkerboard_image",
     "default_image_set",
+    "default_signal_set",
     "fidelity_inputs",
     "gradient_image",
     "noise_image",
@@ -43,20 +44,28 @@ __all__ = [
 #: fit, and below this size a quality estimate is statistically useless.
 MIN_FIDELITY_SIDE = 8
 
+#: Smallest length :func:`fidelity_inputs` will crop a 1-D signal to.  The
+#: MVM/signal workloads consume whole blocks (matrix columns / FIR taps),
+#: so a crop must keep at least one block's worth of samples.
+MIN_FIDELITY_LENGTH = 32
+
 
 def fidelity_inputs(
     images: Sequence[np.ndarray], budget: int
 ) -> Tuple[List[np.ndarray], bool]:
-    """Reduce an image set to roughly ``budget`` total pixels by centre-cropping.
+    """Reduce an input set to roughly ``budget`` total samples by centre-cropping.
 
-    The multi-fidelity ladder's reduced-rung transform: every image is
-    cropped around its centre by the same linear factor
+    The multi-fidelity ladder's reduced-rung transform.  2-D images are
+    cropped around their centre by the same linear factor
     ``sqrt(budget / total_pixels)``, preserving the set's content mix
-    while cutting evaluation cost proportionally.  Sides never drop below
+    while cutting evaluation cost proportionally; sides never drop below
     :data:`MIN_FIDELITY_SIDE` (so windowed quality metrics keep working on
     tiny budgets -- the realised pixel count may then exceed ``budget``).
+    1-D signals (the MVM / FIR / DCT workloads) crop their centre segment
+    by the factor ``budget / total_samples`` directly, with
+    :data:`MIN_FIDELITY_LENGTH` as the floor.
 
-    Returns ``(images, reduced)``.  A budget at or above the full pixel
+    Returns ``(inputs, reduced)``.  A budget at or above the full sample
     count is an identity: the *original* arrays come back with ``reduced``
     False, so full-fidelity rungs share exact-evaluation cache tokens
     bit for bit.
@@ -68,8 +77,15 @@ def fidelity_inputs(
     if total <= budget:
         return images, False
     scale = math.sqrt(budget / total)
+    linear_scale = budget / total
     cropped = []
     for image in images:
+        if image.ndim == 1:
+            length = image.shape[0]
+            new_length = min(length, max(MIN_FIDELITY_LENGTH, int(length * linear_scale)))
+            start = (length - new_length) // 2
+            cropped.append(np.ascontiguousarray(image[start:start + new_length]))
+            continue
         rows, cols = image.shape[:2]
         new_rows = min(rows, max(MIN_FIDELITY_SIDE, int(rows * scale)))
         new_cols = min(cols, max(MIN_FIDELITY_SIDE, int(cols * scale)))
@@ -152,4 +168,72 @@ def default_image_set(size: int = 48, seed: int = 0) -> List[np.ndarray]:
         blob_image(size, seed=seed + 3),
         texture_image(size, seed=seed + 7),
         noise_image(size, seed=seed + 11),
+    ]
+
+
+def _tone_signal(length: int, seed: int) -> np.ndarray:
+    """Sum of a few seeded sinusoids, quantised to 8-bit samples."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(length, dtype=np.float64)
+    signal = np.zeros(length, dtype=np.float64)
+    for _ in range(3):
+        period = rng.uniform(8.0, length / 2.0)
+        amplitude = rng.uniform(30.0, 100.0)
+        phase = rng.uniform(0.0, 2.0 * math.pi)
+        signal += amplitude * np.sin(2.0 * math.pi * t / period + phase)
+    signal -= signal.min()
+    signal *= 255.0 / max(signal.max(), 1e-9)
+    return signal.astype(np.uint8).astype(np.int64)
+
+
+def _chirp_signal(length: int, seed: int) -> np.ndarray:
+    """Linear chirp sweeping low to high frequency (edge-dense tail)."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(length, dtype=np.float64) / length
+    f0 = rng.uniform(1.0, 4.0)
+    f1 = rng.uniform(length / 8.0, length / 4.0)
+    signal = 127.5 * (1.0 + np.sin(2.0 * math.pi * (f0 + (f1 - f0) * t / 2.0) * t * length / length))
+    return np.clip(signal, 0, 255).astype(np.uint8).astype(np.int64)
+
+
+def _step_signal(length: int, seed: int) -> np.ndarray:
+    """Piecewise-constant steps (the 1-D analogue of the checkerboard)."""
+    rng = np.random.default_rng(seed)
+    num_steps = int(rng.integers(4, 9))
+    edges = np.sort(rng.choice(np.arange(1, length), size=num_steps - 1, replace=False))
+    levels = rng.integers(0, 256, size=num_steps)
+    signal = np.empty(length, dtype=np.int64)
+    start = 0
+    for edge, level in zip(list(edges) + [length], levels):
+        signal[start:edge] = int(level)
+        start = edge
+    return signal
+
+
+def _noise_signal(length: int, seed: int) -> np.ndarray:
+    """Uniform random samples (worst case for error attenuation)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=length).astype(np.int64)
+
+
+def default_signal_set(size: int = 48, seed: int = 0) -> List[np.ndarray]:
+    """The four-signal 1-D input set of one signal-family workload.
+
+    The 1-D counterpart of :func:`default_image_set` for the MVM / FIR /
+    DCT workloads: tones, a chirp, steps and noise, each ``4 * size``
+    samples long (so ``size`` stays comparable to the image workloads'
+    side-length knob while giving block-based datapaths enough full
+    blocks).  Samples are non-negative 8-bit values held in ``int64``
+    arrays -- what the integer datapaths consume directly.  Per-signal
+    seeds derive from ``seed`` with distinct offsets, so two workloads
+    with different :attr:`~repro.workloads.ApproxAccelerator.input_seed`
+    values never share an identical set (and therefore never share
+    input-set cache tokens).
+    """
+    length = 4 * size
+    return [
+        _tone_signal(length, seed=seed + 1),
+        _chirp_signal(length, seed=seed + 5),
+        _step_signal(length, seed=seed + 9),
+        _noise_signal(length, seed=seed + 13),
     ]

@@ -1,0 +1,327 @@
+"""Bit-sliced matrix-vector-multiply accelerator workload.
+
+The first workload family structurally unlike the image-convolution trio:
+a quantized matrix-vector multiply (the core of dense layers, mixers and
+transform codecs) whose *inputs* are split into time-multiplexed bit
+slices before they ever reach the approximate multipliers -- the cross-sim
+DAC scheme.  Input samples are quantized to ``resolution`` bits in
+sign-magnitude representation (so only ``resolution - 1`` magnitude bits
+exist; the two zero encodings collapse), the magnitudes are cut into
+``ceil((resolution - 1) / slice_width)`` LSB-first slices of
+``slice_width`` bits each (the last slice is narrower when the widths do
+not divide -- non-divisible widths are a first-class case), and one
+partial MVM runs per slice through the approximate multiplier/adder
+slots.  The partials recombine in exact logic with shift weights
+``slice << (s * slice_width)``, and the sign is applied with each slice,
+exactly as a sign-magnitude DAC drives negative array voltages.
+
+:func:`convert_sliced` / :func:`recombine_slices` implement the slicing
+as standalone functions so the exact-round-trip property
+(``recombine(convert(x)) == clip(x)`` for *every* ``(resolution,
+slice_width)`` pair) can be pinned by a hypothesis suite
+(``tests/test_workload_mvm_signal.py``) independently of any datapath.
+
+Datapath shape (default :class:`BitSlicedMVMAccelerator`): the signal is
+blocked into length-``cols`` vectors and multiplied by a seeded signed
+``rows x cols`` weight matrix.  One multiplier slot per matrix *column*
+(time-multiplexed over rows, slices and sign phases, like the
+convolution workloads time-multiplex their slots over pixels) and a
+``cols - 1``-slot balanced accumulation tree.  Approximate adders only
+ever see non-negative operands: each slice is split into its
+positive-sign and negative-sign input phases (both non-negative), each
+phase reduces through one balanced tree per weight-sign group, and all
+four signed combinations plus the shift-weight recombination run in
+exact logic -- the same exact-combination-stage substitution the
+convolution workloads document.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import VectorAccelerator, SlotConfiguration, WORKLOADS, reduce_balanced
+
+__all__ = [
+    "BitSlicedMVMAccelerator",
+    "convert_sliced",
+    "num_slices",
+    "recombine_slices",
+]
+
+
+def num_slices(resolution: int, slice_width: int) -> int:
+    """Number of input bit slices for a resolution / slice-width pair.
+
+    ``ceil((resolution - 1) / slice_width)``: only the magnitude bits of
+    the sign-magnitude encoding count toward slices, and a non-divisible
+    ``slice_width`` yields a narrower final slice rather than an error.
+    """
+    if resolution < 2:
+        raise ValueError(f"resolution must be at least 2 bits, got {resolution}")
+    if not 1 <= slice_width <= resolution - 1:
+        raise ValueError(
+            f"slice width must be in [1, {resolution - 1}] for a "
+            f"{resolution}-bit sign-magnitude input, got {slice_width}"
+        )
+    return -(-(resolution - 1) // slice_width)
+
+
+def convert_sliced(
+    values: np.ndarray, resolution: int, slice_width: int
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Quantize signed values and split them into LSB-first bit slices.
+
+    The sign-magnitude DAC conversion: values are clipped to the symmetric
+    ``resolution``-bit sign-magnitude range ``[-(2**(resolution-1) - 1),
+    2**(resolution-1) - 1]`` (the two encodings of zero collapse, so there
+    are ``2**(resolution-1)`` magnitude levels), and the *magnitude* bits
+    are cut into ``num_slices(resolution, slice_width)`` slices of
+    ``slice_width`` bits, least-significant slice first.  When
+    ``slice_width`` does not divide ``resolution - 1`` the last slice
+    holds only the remaining high bits.  Only magnitude bits count toward
+    the slice size; the sign is returned separately (one ``+1 / -1`` per
+    element) and is applied with each slice by the consumer.
+
+    Returns ``(signs, slices)`` with every slice a non-negative array in
+    ``[0, 2**slice_width - 1]``.  :func:`recombine_slices` is the exact
+    inverse up to the clip: ``recombine_slices(*convert_sliced(x, r, w),
+    slice_width=w)`` equals ``clip(x)`` for every ``(r, w)`` pair.
+    """
+    count = num_slices(resolution, slice_width)
+    values = np.asarray(values, dtype=np.int64)
+    magnitude_bits = resolution - 1
+    limit = (1 << magnitude_bits) - 1
+    clipped = np.clip(values, -limit, limit)
+    signs = np.where(clipped < 0, -1, 1).astype(np.int64)
+    magnitudes = np.abs(clipped)
+    slices = []
+    for index in range(count):
+        low = index * slice_width
+        width = min(slice_width, magnitude_bits - low)
+        slices.append((magnitudes >> low) & ((1 << width) - 1))
+    return signs, slices
+
+
+def recombine_slices(
+    signs: np.ndarray, slices: Sequence[np.ndarray], slice_width: int
+) -> np.ndarray:
+    """Reassemble sliced magnitudes with shift weights and apply the signs.
+
+    The exact inverse of :func:`convert_sliced` (up to its range clip):
+    slice ``s`` carries weight ``2**(s * slice_width)``, and the
+    sign-magnitude sign multiplies the recombined magnitude.
+    """
+    signs = np.asarray(signs, dtype=np.int64)
+    if not slices:
+        raise ValueError("cannot recombine an empty slice list")
+    total = np.zeros_like(signs)
+    for index, plane in enumerate(slices):
+        total = total + (np.asarray(plane, dtype=np.int64) << (index * slice_width))
+    return signs * total
+
+
+def _seeded_weights(rows: int, cols: int, seed: int) -> Tuple[Tuple[int, ...], ...]:
+    """Seeded signed weight matrix with non-zero magnitudes in ``[1, 63]``.
+
+    Zero weights are excluded by construction: a zero-coefficient product
+    would still flow through an approximate multiplier, whose
+    ``approx(0 * x)`` noise is pure artefact (the convolution workloads
+    drop zero taps for the same reason).
+    """
+    rng = np.random.default_rng(seed)
+    magnitudes = rng.integers(1, 64, size=(rows, cols))
+    signs = rng.integers(0, 2, size=(rows, cols)) * 2 - 1
+    return tuple(tuple(int(v) for v in row) for row in magnitudes * signs)
+
+
+@WORKLOADS.register("mvm")
+class BitSlicedMVMAccelerator(VectorAccelerator):
+    """Blocked MVM with sign-magnitude input bit slicing.
+
+    The 1-D input signal is level-shifted to signed samples
+    (``sample - 128``), blocked into length-``cols`` vectors (zero-padded
+    to a whole number of blocks), quantized/sliced by
+    :func:`convert_sliced` and multiplied block by block with the seeded
+    ``rows x cols`` :attr:`weights` matrix, one partial MVM per bit slice.
+    The output is the row-major flattening of the per-block results,
+    arithmetically right-shifted by :attr:`shift`.
+
+    ``slice_width`` is the workload knob (the DAC resolution of the
+    cross-sim scheme): it changes how many time-multiplexed passes the
+    datapath makes and how large the slice operands are, i.e. how much
+    each approximate multiplication error is amplified by its shift
+    weight.  The default ``resolution=8, slice_width=3`` pair is
+    deliberately non-divisible (7 magnitude bits -> slices of 3 + 3 + 1
+    bits).  Quality is the bounded SNR score
+    (:func:`repro.workloads.quality.snr_score`).
+    """
+
+    workload_name = "mvm"
+    quality_metric = "snr"
+    input_seed = 303
+
+    #: Shape of the weight matrix (output rows x input block length).
+    rows: int = 6
+    cols: int = 8
+    #: Sign-magnitude input quantization, in bits.
+    resolution: int = 8
+    #: Bits per input slice; need not divide ``resolution - 1``.
+    slice_width: int = 3
+    #: Arithmetic right shift of the exact output stage.
+    shift: int = 6
+    #: Seed of the default weight matrix.
+    weight_seed: int = 313
+
+    def __init__(
+        self,
+        multipliers: Sequence,
+        adders: Sequence,
+        *,
+        slice_width: Optional[int] = None,
+        resolution: Optional[int] = None,
+        weights: Optional[Sequence[Sequence[int]]] = None,
+        workload_name: Optional[str] = None,
+        input_seed: Optional[int] = None,
+    ):
+        # Instance overrides let tests and notebooks spin up ad-hoc MVM
+        # workloads (other slice widths, hand-picked matrices) without
+        # declaring a subclass -- mirroring ConvolutionAccelerator.
+        if slice_width is not None:
+            self.slice_width = int(slice_width)
+        if resolution is not None:
+            self.resolution = int(resolution)
+        if workload_name is not None:
+            self.workload_name = workload_name
+        if input_seed is not None:
+            self.input_seed = int(input_seed)
+        if weights is not None:
+            self.weights = tuple(tuple(int(w) for w in row) for row in weights)
+        elif "weights" not in type(self).__dict__:
+            self.weights = _seeded_weights(self.rows, self.cols, self.weight_seed)
+        self.rows = len(self.weights)
+        if not self.rows or any(len(row) != len(self.weights[0]) for row in self.weights):
+            raise ValueError("weight matrix must be rectangular and non-empty")
+        self.cols = len(self.weights[0])
+        if any(w == 0 for row in self.weights for w in row):
+            raise ValueError("weight matrix must not contain zero weights")
+        # Validates the (resolution, slice_width) pair as a side effect.
+        self._num_slices = num_slices(self.resolution, self.slice_width)
+        self._weight_matrix = np.asarray(self.weights, dtype=np.int64)
+        # Fixed per-row weight-sign groups: each row's products reduce in
+        # one tree per weight sign, positive group first (convolution
+        # idiom), all rows time-multiplexing the same physical adders.
+        self._row_groups: List[List[List[int]]] = [
+            [
+                group
+                for group in (
+                    [c for c in range(self.cols) if row[c] > 0],
+                    [c for c in range(self.cols) if row[c] < 0],
+                )
+                if group
+            ]
+            for row in self.weights
+        ]
+        super().__init__(multipliers, adders)
+
+    # ------------------------------------------------------------------ #
+    # Slot declaration
+    # ------------------------------------------------------------------ #
+    @property
+    def num_multiplier_slots(self) -> int:
+        return self.cols
+
+    @property
+    def num_adder_slots(self) -> int:
+        return self.cols - 1
+
+    def _slot_groups(self) -> List[List[int]]:
+        """One full-width tree: the latency bound over all row phases."""
+        return [list(range(self.cols))]
+
+    # ------------------------------------------------------------------ #
+    # Datapath
+    # ------------------------------------------------------------------ #
+    def _blocked(self, signal: np.ndarray) -> np.ndarray:
+        """Level-shifted signal as a ``(num_blocks, cols)`` matrix."""
+        centred = signal.astype(np.int64) - 128
+        remainder = centred.size % self.cols
+        if remainder:
+            centred = np.concatenate(
+                [centred, np.zeros(self.cols - remainder, dtype=np.int64)]
+            )
+        return centred.reshape(-1, self.cols)
+
+    def _prepare_signal(self, signal: np.ndarray):
+        """``(signs, slices, quantized blocks)`` of one input signal."""
+        blocks = self._blocked(signal)
+        signs, slices = convert_sliced(blocks, self.resolution, self.slice_width)
+        quantized = recombine_slices(signs, slices, self.slice_width)
+        return signs, slices, quantized
+
+    def _exact_from_prepared(self, prepared) -> np.ndarray:
+        _, _, quantized = prepared
+        return ((quantized @ self._weight_matrix.T) >> self.shift).ravel()
+
+    def _apply_planes(self, prepared, config: SlotConfiguration) -> np.ndarray:
+        signs, slices, _ = prepared
+        num_blocks = signs.shape[0]
+        count = len(slices)
+        # Unipolar input phases: approximate adders and multipliers only
+        # ever see non-negative operands.  phases[s, 0/1, b, c] is slice
+        # ``s`` restricted to the positive / negative input signs.
+        phases = np.stack(
+            [
+                np.stack([np.where(signs > 0, plane, 0), np.where(signs < 0, plane, 0)])
+                for plane in slices
+            ]
+        )
+        magnitudes = np.abs(self._weight_matrix)
+        # Column slot ``c`` is time-multiplexed over rows, slices and
+        # phases; batching those passes into one behavioural call per
+        # slot computes identical values (the components are elementwise)
+        # at a fraction of the call overhead.  products[c][r] has shape
+        # (slices, 2 phases, blocks).
+        per_pass = count * 2 * num_blocks
+        products = []
+        for col in range(self.cols):
+            operand = np.tile(phases[..., col].ravel(), self.rows)
+            coefficients = np.repeat(magnitudes[:, col], per_pass)
+            multiplier = self.multipliers[config.multiplier_indices[col]]
+            products.append(
+                multiplier.compute(operand, coefficients).reshape(self.rows, count, 2, num_blocks)
+            )
+
+        combine = self._adder_combine(config)
+        zero = np.zeros(count * 2 * num_blocks, dtype=np.int64)
+        accumulator = np.zeros((num_blocks, self.rows), dtype=np.int64)
+        shift_weights = (1 << (np.arange(count) * self.slice_width)).astype(np.int64)
+        for row in range(self.rows):
+            # One balanced tree per weight-sign group, a running slot
+            # counter per row pass; a single-sign row leaves one group
+            # empty -> the reduce's additive identity.
+            slot = 0
+            group_sums = []
+            for group in self._row_groups[row]:
+                total, slot = reduce_balanced(
+                    [products[col][row].reshape(-1) for col in group], combine, slot, empty=zero
+                )
+                group_sums.append(total.reshape(count, 2, num_blocks))
+            # Signed combination of the weight-sign groups and the input
+            # phases, then the shift-weight recombination: exact logic.
+            if len(group_sums) == 2:
+                signed = group_sums[0] - group_sums[1]
+            elif self.weights[row][self._row_groups[row][0][0]] > 0:
+                signed = group_sums[0]
+            else:
+                signed = -group_sums[0]
+            row_partial = signed[:, 0, :] - signed[:, 1, :]
+            accumulator[:, row] = (row_partial * shift_weights[:, None]).sum(axis=0)
+        return (accumulator >> self.shift).ravel()
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    def _workload_signature(self) -> Tuple:
+        return (self.weights, self.resolution, self.slice_width, self.shift)

@@ -16,13 +16,21 @@ Built-in metrics
   ``cap_db`` and normalised to ``[0, 1]`` (raw :func:`psnr` is in dB and
   unbounded, which would break the search's ``1 - quality`` objective);
 * ``"gms"`` -- :func:`gradient_similarity`, the mean gradient-magnitude
-  similarity used by the Sobel edge-detection workload.
+  similarity used by the Sobel edge-detection workload;
+* ``"snr"`` -- :func:`snr_score`, signal-to-noise ratio capped at
+  ``cap_db`` and normalised to ``[0, 1]``, the 1-D metric of the MVM /
+  FIR / DCT signal workloads (raw :func:`snr` is in dB and unbounded).
 
-Edge-case contract (pinned by ``tests/test_workloads.py``):
+Edge-case contract (pinned by ``tests/test_workloads.py`` and
+``tests/test_workload_mvm_signal.py``):
 
 * :func:`psnr` on identical images returns ``float("inf")`` explicitly --
   the zero-MSE case is tested *before* any division, so no
   ``RuntimeWarning`` is ever emitted;
+* :func:`snr` mirrors that contract on both degenerate branches: zero
+  noise returns ``float("inf")`` and an all-zero (flat-at-zero) reference
+  with nonzero noise returns ``-inf`` explicitly, both tested before any
+  division, so flat or silent signals never emit a ``RuntimeWarning``;
 * :func:`ssim` validates the window size against the image size and
   raises a clear :class:`ValueError` instead of silently filtering with a
   window larger than the image.
@@ -46,6 +54,8 @@ __all__ = [
     "mean_ssim",
     "psnr",
     "psnr_score",
+    "snr",
+    "snr_score",
     "ssim",
 ]
 
@@ -135,6 +145,49 @@ def psnr_score(
     strictly monotone in MSE below the cap.
     """
     return float(min(psnr(reference, test, data_range), cap_db) / cap_db)
+
+
+def snr(reference: np.ndarray, test: np.ndarray) -> float:
+    """Signal-to-noise ratio in dB: signal power over error power.
+
+    The 1-D counterpart of :func:`psnr` for the signal workloads, whose
+    outputs have no fixed peak value (an MVM's dynamic range depends on
+    the weight matrix).  Both degenerate branches are handled explicitly
+    *before* any division, so no ``RuntimeWarning`` is ever emitted:
+
+    * zero noise power (identical outputs -- including two identical
+      all-zero signals) returns ``float("inf")``;
+    * zero signal power (an all-zero reference) with nonzero noise
+      returns ``float("-inf")`` -- there is no signal to have a ratio to.
+
+    Callers who need a bounded, normalised score (the search objectives
+    do) should use :func:`snr_score` instead.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    test = np.asarray(test, dtype=np.float64)
+    if reference.shape != test.shape:
+        raise ValueError("signals must have the same shape")
+    noise_power = float(np.mean((reference - test) ** 2))
+    if noise_power == 0.0:
+        return float("inf")
+    signal_power = float(np.mean(reference ** 2))
+    if signal_power == 0.0:
+        return float("-inf")
+    return 10.0 * np.log10(signal_power / noise_power)
+
+
+@QUALITY_METRICS.register("snr")
+def snr_score(reference: np.ndarray, test: np.ndarray, cap_db: float = 60.0) -> float:
+    """SNR capped at ``cap_db`` and normalised to ``[0, 1]``.
+
+    Raw SNR is unbounded in both directions (infinite for identical
+    signals, ``-inf`` for an all-zero reference), which would break the
+    ``1 - quality`` loss convention of the search objectives; clamping to
+    ``[0, cap_db]`` and dividing by the cap maps identical signals to
+    exactly ``1.0``, a silent reference with noise to ``0.0``, and stays
+    strictly monotone in the error power in between.
+    """
+    return float(min(max(snr(reference, test), 0.0), cap_db) / cap_db)
 
 
 @QUALITY_METRICS.register("gms")

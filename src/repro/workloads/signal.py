@@ -1,0 +1,285 @@
+"""1-D signal-processing accelerator workloads (FIR filter, DCT).
+
+The signal half of the workload registry: accelerators consuming seeded
+1-D sample vectors (:func:`repro.workloads.inputs.default_signal_set`)
+instead of images, judged by the bounded SNR score.
+
+:class:`FirAccelerator` (``"fir"``) is a 7-tap symmetric low-pass FIR
+filter -- the 1-D analogue of the convolution trio: one multiplier slot
+per tap (coefficient magnitudes as the constant operand), a single
+balanced accumulation tree (all taps positive), and the output shift and
+clip in exact logic.  :class:`MixedWidthFirAccelerator` (``"fir_mixed"``)
+is its mixed-bitwidth sweep variant: the *same* filter evaluated at a
+swept operand-width point (6-bit multiplier operands, 12-bit adder
+operands by default), with input samples requantized to the multiplier
+width and every datapath value masked to the declared adder width -- how
+a bitwidth sweep trades quality for narrower components.
+
+:class:`DctAccelerator` (``"dct"``) is the 8-point DCT-II expressed as a
+bit-sliced MVM (:class:`repro.workloads.mvm.BitSlicedMVMAccelerator`
+subclass): its weight matrix is the quantized DCT basis, so the transform
+inherits the whole sign-magnitude input-slicing scheme including the
+``slice_width`` knob.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import VectorAccelerator, SlotConfiguration, WORKLOADS
+from .mvm import BitSlicedMVMAccelerator
+
+__all__ = [
+    "DCT_SCALE",
+    "DctAccelerator",
+    "FIR_TAPS",
+    "FIR_SHIFT",
+    "FirAccelerator",
+    "MixedWidthFirAccelerator",
+    "dct_matrix",
+]
+
+#: Integer 7-tap symmetric low-pass kernel (binomial-ish, sum = 32, i.e. a
+#: 5-bit right shift keeps unity DC gain).
+FIR_TAPS: Tuple[int, ...] = (1, 3, 7, 10, 7, 3, 1)
+FIR_SHIFT = 5
+
+#: Magnitude scale of the quantized DCT-II basis: ``round(63 * cos(...))``
+#: keeps every coefficient inside the multipliers' constant-operand range
+#: while never rounding a basis entry to zero (the smallest ``|cos|`` of
+#: the 8-point basis is ~0.195 -> 12).
+DCT_SCALE = 63
+
+
+@WORKLOADS.register("fir")
+class FirAccelerator(VectorAccelerator):
+    """7-tap FIR filter with configurable approximate operators.
+
+    The sliding window is realised exactly like the convolution
+    workloads' shifted planes, one dimension down: the signal is
+    reflect-padded and shifted into one plane per tap, each plane
+    multiplies its coefficient through the tap's multiplier slot, and the
+    products reduce through a single balanced adder tree (all
+    coefficients positive).  The right shift and 8-bit clip of the output
+    stage run in exact logic.
+    """
+
+    workload_name = "fir"
+    quality_metric = "snr"
+    input_seed = 404
+
+    taps: Tuple[int, ...] = FIR_TAPS
+    shift: int = FIR_SHIFT
+
+    def __init__(
+        self,
+        multipliers: Sequence,
+        adders: Sequence,
+        *,
+        taps: Optional[Sequence[int]] = None,
+        shift: Optional[int] = None,
+        workload_name: Optional[str] = None,
+        input_seed: Optional[int] = None,
+    ):
+        if taps is not None:
+            self.taps = tuple(int(t) for t in taps)
+        if shift is not None:
+            self.shift = int(shift)
+        if workload_name is not None:
+            self.workload_name = workload_name
+        if input_seed is not None:
+            self.input_seed = int(input_seed)
+        if not self.taps:
+            raise ValueError("FIR filter needs at least one tap")
+        if any(t <= 0 for t in self.taps):
+            raise ValueError("FIR taps must be positive integers")
+        super().__init__(multipliers, adders)
+
+    # ------------------------------------------------------------------ #
+    # Slot declaration
+    # ------------------------------------------------------------------ #
+    @property
+    def num_multiplier_slots(self) -> int:
+        return len(self.taps)
+
+    @property
+    def num_adder_slots(self) -> int:
+        return max(len(self.taps) - 1, 0)
+
+    def _slot_groups(self) -> List[List[int]]:
+        """All taps accumulate through one balanced tree."""
+        return [list(range(len(self.taps)))]
+
+    # ------------------------------------------------------------------ #
+    # Datapath
+    # ------------------------------------------------------------------ #
+    def _quantize_samples(self, signal: np.ndarray) -> np.ndarray:
+        """Input conditioning hook; the plain FIR consumes 8-bit samples as-is."""
+        return signal
+
+    def _mask_value(self, value: np.ndarray) -> np.ndarray:
+        """Datapath-width hook; the plain FIR runs at full component width."""
+        return value
+
+    @property
+    def _output_shift(self) -> int:
+        """Right shift of the exact output stage."""
+        return self.shift
+
+    def _tap_planes(self, signal: np.ndarray) -> List[np.ndarray]:
+        """One shifted plane per tap (reflect padding, like the 2-D planes)."""
+        pad = len(self.taps) // 2
+        padded = np.pad(signal, pad, mode="reflect")
+        return [padded[k:k + signal.size] for k in range(len(self.taps))]
+
+    def _prepare_signal(self, signal: np.ndarray):
+        return self._tap_planes(self._quantize_samples(signal))
+
+    def _exact_from_prepared(self, prepared) -> np.ndarray:
+        # The masks are value-preserving on the exact datapath (validated
+        # at construction by the mixed-width variant), so accumulation
+        # order cannot change the result.
+        accumulator = np.zeros_like(prepared[0])
+        for tap, plane in zip(self.taps, prepared):
+            accumulator = self._mask_value(accumulator + self._mask_value(plane * tap))
+        return np.clip(accumulator >> self._output_shift, 0, 255)
+
+    def _apply_planes(self, prepared, config: SlotConfiguration) -> np.ndarray:
+        products = [
+            self._mask_value(
+                self.multipliers[config.multiplier_indices[slot]].compute(
+                    plane, np.full(plane.size, tap, dtype=np.int64)
+                )
+            )
+            for slot, (tap, plane) in enumerate(zip(self.taps, prepared))
+        ]
+
+        def add(slot: int, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+            adder = self.adders[config.adder_indices[slot]]
+            return self._mask_value(adder.compute(left, right))
+
+        sums = self._reduce_groups(products, self._slot_groups(), add)
+        return np.clip(sums[0] >> self._output_shift, 0, 255)
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    def _workload_signature(self) -> Tuple:
+        return (self.taps, self.shift)
+
+
+@WORKLOADS.register("fir_mixed")
+class MixedWidthFirAccelerator(FirAccelerator):
+    """The 7-tap FIR at a swept mixed operand-width point.
+
+    One point of an adder+multiplier bitwidth sweep: input samples are
+    requantized to :attr:`multiplier_width` bits (dropping
+    ``8 - multiplier_width`` LSBs), every product and partial sum is
+    masked to :attr:`adder_width` bits, and the output shift shrinks by
+    the dropped input bits so the filter keeps unity DC gain.  With the
+    default 6/12-bit point the masks are value-preserving for *exact*
+    components (max accumulator value ``63 * 32 = 2016 < 2**12``), so the
+    quality loss against ``"fir"`` measures the requantization plus the
+    approximate components' behaviour at narrower operands -- exactly
+    what a bitwidth sweep isolates.  Construction-time sweeps pass other
+    width pairs (``MixedWidthFirAccelerator(m, a, multiplier_width=5,
+    adder_width=10)``); widths are validated against the taps so a masked
+    exact datapath can never overflow silently.
+    """
+
+    workload_name = "fir_mixed"
+    quality_metric = "snr"
+    input_seed = 505
+
+    multiplier_width = 6
+    adder_width = 12
+
+    def __init__(
+        self,
+        multipliers: Sequence,
+        adders: Sequence,
+        *,
+        multiplier_width: Optional[int] = None,
+        adder_width: Optional[int] = None,
+        **kwargs,
+    ):
+        if multiplier_width is not None:
+            self.multiplier_width = int(multiplier_width)
+        if adder_width is not None:
+            self.adder_width = int(adder_width)
+        if not 1 <= self.multiplier_width <= 8:
+            raise ValueError(
+                f"multiplier width must be in [1, 8] for 8-bit samples, "
+                f"got {self.multiplier_width}"
+            )
+        super().__init__(multipliers, adders, **kwargs)
+        max_sample = (1 << self.multiplier_width) - 1
+        if max_sample * sum(self.taps) >= (1 << self.adder_width):
+            raise ValueError(
+                f"adder width {self.adder_width} cannot hold the exact "
+                f"accumulator maximum {max_sample * sum(self.taps)}"
+            )
+        self._sample_shift = 8 - self.multiplier_width
+        if self.shift < self._sample_shift:
+            raise ValueError(
+                f"output shift {self.shift} cannot absorb the "
+                f"{self._sample_shift}-bit sample requantization"
+            )
+
+    def _quantize_samples(self, signal: np.ndarray) -> np.ndarray:
+        return signal >> self._sample_shift
+
+    def _mask_value(self, value: np.ndarray) -> np.ndarray:
+        return value & ((1 << self.adder_width) - 1)
+
+    @property
+    def _output_shift(self) -> int:
+        # The dropped input LSBs shrink the output shift, so the exact
+        # mixed-width filter tracks the full-width one's DC gain.
+        return self.shift - self._sample_shift
+
+    def _workload_signature(self) -> Tuple:
+        return (self.taps, self.shift, self.multiplier_width, self.adder_width)
+
+
+def dct_matrix(size: int = 8, scale: int = DCT_SCALE) -> Tuple[Tuple[int, ...], ...]:
+    """Quantized ``size``-point DCT-II basis matrix.
+
+    ``round(scale * cos(pi * (n + 1/2) * k / size))`` -- the orthogonal
+    normalisation is dropped (it is a per-row constant absorbed by the
+    output shift), keeping every weight an integer for the MVM datapath.
+    """
+    matrix = []
+    for k in range(size):
+        row = []
+        for n in range(size):
+            value = int(round(scale * math.cos(math.pi * (n + 0.5) * k / size)))
+            row.append(value)
+        matrix.append(tuple(row))
+    return tuple(matrix)
+
+
+@WORKLOADS.register("dct")
+class DctAccelerator(BitSlicedMVMAccelerator):
+    """8-point DCT-II through the bit-sliced MVM datapath.
+
+    The weight matrix is the quantized DCT basis (:func:`dct_matrix`), so
+    blocking the level-shifted signal into length-8 vectors and running
+    the MVM computes one 8-point transform per block -- the standard
+    block-transform front end of image/audio codecs, here fed by 1-D
+    signals.  Everything else (sign-magnitude slicing, the
+    ``slice_width`` knob, the unipolar adder-tree phases) is inherited
+    from :class:`~repro.workloads.mvm.BitSlicedMVMAccelerator`.
+    """
+
+    workload_name = "dct"
+    quality_metric = "snr"
+    input_seed = 606
+
+    weights = dct_matrix()
+    rows = 8
+    cols = 8
+    shift = 7
